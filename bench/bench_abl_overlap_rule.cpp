@@ -1,0 +1,116 @@
+// Ablation: is the paper's conservatism rule (Sec III-B — when a detour's
+// error bars overlap direct's, keep direct) actually a good decision rule?
+//
+// Protocol: an operator measures each route with a SHORT campaign (3 runs —
+// cheap but noisy), then commits to a route with and without the overlap
+// rule. Ground truth is the long campaign (7 runs, keep 5). Repeated over
+// many operator seeds, the mean regret (seconds lost vs the true best
+// route) quantifies what the rule buys on the noisy Purdue paths.
+#include <cstdio>
+
+#include "common.h"
+#include "core/advisor.h"
+#include "stats/descriptive.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+using namespace droute;
+
+struct Cell {
+  cloud::ProviderKind provider;
+  std::uint64_t bytes;
+};
+
+struct RuleScore {
+  double total_regret = 0.0;
+  int decisions = 0;
+  int picked_detour = 0;
+};
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: the Sec III-B overlap-conservatism rule ===\n");
+  std::printf("Noisy 3-run operator campaigns vs a 7-run oracle, Purdue,\n"
+              "20 operator seeds per cell.\n\n");
+
+  const std::vector<Cell> cells = {
+      {cloud::ProviderKind::kDropbox, 60 * util::kMB},
+      {cloud::ProviderKind::kDropbox, 100 * util::kMB},
+      {cloud::ProviderKind::kOneDrive, 60 * util::kMB},
+      {cloud::ProviderKind::kOneDrive, 100 * util::kMB},
+  };
+
+  util::TextTable table({"cell", "oracle best", "regret w/ rule (s)",
+                         "regret w/o rule (s)", "detours w/", "detours w/o"});
+  measure::Protocol noisy_protocol;
+  noisy_protocol.total_runs = 3;
+  noisy_protocol.keep_last = 3;
+
+  for (const Cell& cell : cells) {
+    // Oracle: long campaign per route.
+    measure::Campaign oracle(droute::bench::bench_seed());
+    for (const auto route : scenario::all_routes()) {
+      oracle.add_route(scenario::route_name(route),
+                       scenario::make_transfer_fn(scenario::Client::kPurdue,
+                                                  cell.provider, route));
+    }
+    std::map<std::string, double> truth;
+    std::string best_route;
+    double best_time = 1e18;
+    for (const auto route : scenario::all_routes()) {
+      const auto m = oracle.measure(scenario::route_name(route), cell.bytes);
+      truth[scenario::route_name(route)] = m.kept.mean;
+      if (m.kept.mean < best_time) {
+        best_time = m.kept.mean;
+        best_route = scenario::route_name(route);
+      }
+    }
+
+    RuleScore with_rule, without_rule;
+    for (std::uint64_t operator_seed = 1; operator_seed <= 20;
+         ++operator_seed) {
+      measure::Campaign campaign(operator_seed * 7919);
+      for (const auto route : scenario::all_routes()) {
+        campaign.add_route(scenario::route_name(route),
+                           scenario::make_transfer_fn(scenario::Client::kPurdue,
+                                                      cell.provider, route));
+      }
+      std::vector<core::RouteStats> stats;
+      for (const auto route : scenario::all_routes()) {
+        core::RouteStats rs;
+        rs.key = scenario::route_name(route);
+        rs.is_direct = route == scenario::RouteChoice::kDirect;
+        rs.summary =
+            campaign.measure(rs.key, cell.bytes, noisy_protocol).kept;
+        stats.push_back(rs);
+      }
+      for (bool conservative : {true, false}) {
+        core::RouteAdvisor::Options options;
+        options.prefer_direct_on_overlap = conservative;
+        const auto decision = core::RouteAdvisor(options).recommend(stats);
+        RuleScore& score = conservative ? with_rule : without_rule;
+        score.total_regret += truth.at(decision.route_key) - best_time;
+        ++score.decisions;
+        if (decision.route_key != "Direct") ++score.picked_detour;
+      }
+    }
+
+    table.add_row(
+        {cloud::provider_name(cell.provider) + " " +
+             util::fmt_mb(cell.bytes) + "MB",
+         best_route,
+         util::fmt_seconds(with_rule.total_regret / with_rule.decisions),
+         util::fmt_seconds(without_rule.total_regret /
+                           without_rule.decisions),
+         std::to_string(with_rule.picked_detour) + "/20",
+         std::to_string(without_rule.picked_detour) + "/20"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: on routes where detours genuinely win (OneDrive), both\n"
+      "policies find them; on statistical ties (Dropbox), the overlap rule\n"
+      "suppresses flaky detour picks from noisy 3-run campaigns — the\n"
+      "paper's \"unsure benefits of the detours\" conservatism, quantified.\n");
+  return 0;
+}

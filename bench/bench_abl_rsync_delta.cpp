@@ -1,0 +1,76 @@
+// Ablation: what if the DTN kept a stale copy? The paper deletes files
+// before each run (no delta benefit, Sec II); this bench quantifies what
+// that choice leaves on the table, using the real rsync algorithm on real
+// buffers across overlap levels.
+#include <cstdio>
+
+#include "rsyncx/session.h"
+#include "util/blob.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace droute;
+  std::printf("=== Ablation: rsync delta vs full send (stale DTN copy) ===\n");
+  std::printf("Real rsync algorithm on 8 MB random files; mutations flip\n"
+              "whole regions to emulate partial re-uploads.\n\n");
+
+  constexpr std::size_t kFile = 8 * 1000 * 1000;
+  util::Rng rng(7);
+  const util::Blob target = util::make_random_blob(rng, kFile);
+
+  util::TextTable table({"basis state", "forward bytes", "reverse bytes",
+                         "bytes saved", "delta ops"});
+  const struct {
+    const char* label;
+    double stale_fraction;  // fraction of the basis that differs
+    bool has_basis;
+  } cases[] = {
+      {"no basis (paper's runs)", 1.0, false},
+      {"identical basis", 0.0, true},
+      {"1% changed", 0.01, true},
+      {"10% changed", 0.10, true},
+      {"50% changed", 0.50, true},
+  };
+
+  for (const auto& c : cases) {
+    std::optional<util::Blob> basis;
+    if (c.has_basis) {
+      basis = target;
+      util::Rng mut(99);
+      const auto damaged =
+          static_cast<std::size_t>(c.stale_fraction * kFile);
+      // Damage contiguous regions (worst case spreads damage over every
+      // block; contiguous matches a partially re-written file).
+      for (std::size_t i = 0; i < damaged; ++i) {
+        (*basis)[i] = static_cast<std::uint8_t>(mut.next_u64());
+      }
+    }
+    const auto plan = rsyncx::plan_session(
+        target, basis ? std::optional<std::span<const std::uint8_t>>(
+                            std::span<const std::uint8_t>(*basis))
+                      : std::nullopt);
+    const double saved =
+        1.0 - static_cast<double>(plan.forward_wire_bytes) /
+                  static_cast<double>(kFile);
+    table.add_row({c.label, std::to_string(plan.forward_wire_bytes),
+                   std::to_string(plan.reverse_wire_bytes),
+                   util::fmt_percent(saved),
+                   std::to_string(plan.delta.ops.size())});
+    // Prove the plan actually reconstructs.
+    auto rebuilt = rsyncx::execute_plan(
+        plan, basis ? std::optional<std::span<const std::uint8_t>>(
+                          std::span<const std::uint8_t>(*basis))
+                    : std::nullopt);
+    if (!rebuilt.ok() || rebuilt.value() != target) {
+      std::fprintf(stderr, "reconstruction failed for %s\n", c.label);
+      return 1;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("With the paper's delete-before-run methodology the detour\n"
+              "pays full freight on leg 1; a persistent DTN cache would\n"
+              "amortize repeat uploads dramatically.\n");
+  return 0;
+}

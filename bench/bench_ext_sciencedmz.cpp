@@ -1,0 +1,62 @@
+// Extension experiment: the Science-DMZ pattern as a routing detour (the
+// paper's cited motivation [2] and stated future work). A campus firewall
+// inspects every flow at ~6 Mbps; the DMZ DTN bypasses it. The detour here
+// is *on-campus* — same mechanism as the paper's WAN detour, different
+// bottleneck.
+#include <cstdio>
+
+#include "scenario/science_dmz.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace droute;
+  std::printf("=== Extension: Science DMZ — bypassing the campus firewall ===\n");
+  std::printf("Firewall inspects at 6 Mbps/flow; the DMZ DTN skips it.\n\n");
+
+  util::TextTable table({"File size (MB)", "through firewall (s)",
+                         "via DMZ DTN (s)", "speedup"});
+  for (const std::uint64_t mb : {10, 50, 100, 500}) {
+    auto direct_world = scenario::ScienceDmzWorld::create();
+    auto direct = direct_world->run_upload(
+        scenario::ScienceDmzWorld::Path::kThroughFirewall, mb * util::kMB);
+    auto dtn_world = scenario::ScienceDmzWorld::create();
+    auto detour = dtn_world->run_upload(
+        scenario::ScienceDmzWorld::Path::kViaDtn, mb * util::kMB);
+    if (!direct.ok() || !detour.ok()) {
+      std::fprintf(stderr, "upload failed\n");
+      return 1;
+    }
+    table.add_row({std::to_string(mb), util::fmt_seconds(direct.value()),
+                   util::fmt_seconds(detour.value()),
+                   util::fmt_double(direct.value() / detour.value(), 1) +
+                       "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Ablation: the gain tracks the firewall's inspection ceiling.
+  std::printf("Firewall ceiling ablation (100 MB):\n");
+  util::TextTable ablation({"firewall Mbps/flow", "through firewall (s)",
+                            "via DMZ DTN (s)"});
+  for (const double mbps : {2.0, 6.0, 20.0, 100.0}) {
+    scenario::ScienceDmzConfig config;
+    config.firewall_per_flow_mbps = mbps;
+    auto w1 = scenario::ScienceDmzWorld::create(config);
+    auto w2 = scenario::ScienceDmzWorld::create(config);
+    ablation.add_row(
+        {util::fmt_double(mbps, 0),
+         util::fmt_seconds(
+             w1->run_upload(scenario::ScienceDmzWorld::Path::kThroughFirewall,
+                            100 * util::kMB)
+                 .value()),
+         util::fmt_seconds(
+             w2->run_upload(scenario::ScienceDmzWorld::Path::kViaDtn,
+                            100 * util::kMB)
+                 .value())});
+  }
+  std::printf("%s\n", ablation.render().c_str());
+  std::printf("Same mitigation as the paper's WAN detour: move the bulk\n"
+              "flow onto a path whose middleboxes you control. Dart et al.'s\n"
+              "DTN design pattern *is* a routing detour.\n");
+  return 0;
+}

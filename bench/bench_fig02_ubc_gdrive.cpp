@@ -1,0 +1,25 @@
+// Fig 2: Upload performance from UBC to Google Drive (direct vs detours).
+#include "common.h"
+#include "util/units.h"
+
+int main() {
+  using namespace droute;
+  const auto series =
+      bench::measure_figure(scenario::Client::kUBC,
+                            cloud::ProviderKind::kGoogleDrive,
+                            scenario::paper_file_sizes_bytes());
+  bench::print_figure("=== Fig 2: UBC -> Google Drive ===",
+                      scenario::Client::kUBC,
+                      cloud::ProviderKind::kGoogleDrive, series);
+  bench::print_paper_comparison(
+      "Paper (Table II) vs this reproduction:",
+      {{10, 9.46, 6.47, 15.41},
+       {20, 18.61, 8.27, 27.71},
+       {30, 28.66, 13.85, 39.14},
+       {40, 36.86, 17.4, 51.87},
+       {50, 42.26, 19.41, 63.68},
+       {60, 51.11, 21.99, 80.71},
+       {100, 86.92, 35.79, 132.17}},
+      series);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig 4: Upload performance from UBC to Dropbox — direct wins; detours lose.
+#include "common.h"
+
+int main() {
+  using namespace droute;
+  const auto series =
+      bench::measure_figure(scenario::Client::kUBC,
+                            cloud::ProviderKind::kDropbox,
+                            scenario::paper_file_sizes_bytes());
+  bench::print_figure("=== Fig 4: UBC -> Dropbox ===", scenario::Client::kUBC,
+                      cloud::ProviderKind::kDropbox, series);
+  std::printf("Paper's qualitative result: direct upload outperforms both\n"
+              "indirect routes via UAlberta and UMich for every file size.\n");
+  return 0;
+}

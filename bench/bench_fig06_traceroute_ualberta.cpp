@@ -1,0 +1,46 @@
+// Fig 6: traceroute from UAlberta to the Google Drive server — shares
+// vncv1rtr2.canarie.ca with Fig 5 but exits via the direct peering
+// (the unresponsive "* * *" hop), skipping PacificWave.
+#include <cstdio>
+
+#include "common.h"
+#include "trace/traceroute.h"
+
+int main() {
+  using namespace droute;
+  scenario::WorldConfig config;
+  config.cross_traffic = false;
+  auto world = scenario::World::create(config);
+
+  std::printf("=== Fig 6: UAlberta -> Google Drive traceroute ===\n\n");
+  auto fig6 = world->tracer().trace(
+      world->node("cluster.cs.ualberta.ca"),
+      world->node("sea15s01-in-f138.1e100.net"));
+  if (!fig6.ok()) {
+    std::fprintf(stderr, "traceroute failed: %s\n",
+                 fig6.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", fig6.value().render(world->topology()).c_str());
+
+  // The Sec III-A comparison: where do Figs 5 and 6 diverge?
+  auto fig5 = world->tracer().trace(
+      world->node("planetlab1.cs.ubc.ca"),
+      world->node("sea15s01-in-f138.1e100.net"));
+  const auto diff = trace::Tracer::diff(fig5.value(), fig6.value());
+  std::printf("Route comparison against Fig 5 (UBC -> Google Drive):\n");
+  if (diff.divergence_point) {
+    std::printf("  divergence after : %s\n",
+                world->topology().node(*diff.divergence_point).name.c_str());
+  }
+  std::printf("  UBC-only hops    :");
+  for (auto node : diff.only_first) {
+    std::printf(" %s", world->topology().node(node).name.c_str());
+  }
+  std::printf("\n  UAlberta-only    :");
+  for (auto node : diff.only_second) {
+    std::printf(" %s", world->topology().node(node).name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

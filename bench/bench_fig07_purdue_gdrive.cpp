@@ -1,0 +1,24 @@
+// Fig 7: Upload performance from Purdue to Google Drive — both detours win.
+#include "common.h"
+
+int main() {
+  using namespace droute;
+  const auto series =
+      bench::measure_figure(scenario::Client::kPurdue,
+                            cloud::ProviderKind::kGoogleDrive,
+                            scenario::paper_file_sizes_bytes());
+  bench::print_figure("=== Fig 7: Purdue -> Google Drive ===",
+                      scenario::Client::kPurdue,
+                      cloud::ProviderKind::kGoogleDrive, series);
+  bench::print_paper_comparison(
+      "Paper (Table III) vs this reproduction:",
+      {{10, 98.89, 17.57, 30.59},
+       {20, 288.23, 70.55, 83.62},
+       {30, 480.95, 120.69, 111.37},
+       {40, 585.54, 94.43, 173.53},
+       {50, 557.9, 138.03, 126.82},
+       {60, 610.88, 142.15, 183.85},
+       {100, 748.03, 195.88, 184.07}},
+      series);
+  return 0;
+}

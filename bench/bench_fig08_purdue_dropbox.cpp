@@ -1,0 +1,18 @@
+// Fig 8: Purdue -> Dropbox — direct generally competitive, size-dependent
+// crossovers, large error bars (the paper's overlap discussion).
+#include "common.h"
+
+int main() {
+  using namespace droute;
+  const auto series =
+      bench::measure_figure(scenario::Client::kPurdue,
+                            cloud::ProviderKind::kDropbox,
+                            scenario::paper_file_sizes_bytes());
+  bench::print_figure("=== Fig 8: Purdue -> Dropbox ===",
+                      scenario::Client::kPurdue, cloud::ProviderKind::kDropbox,
+                      series);
+  std::printf("Paper's qualitative result: detours are generally no better\n"
+              "than direct here, with file-size-dependent exceptions and\n"
+              "overlapping error bars (see bench_table4 for the analysis).\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig 11: UCLA -> Dropbox — same last-mile story as Fig 10.
+#include "common.h"
+
+int main() {
+  using namespace droute;
+  const auto series =
+      bench::measure_figure(scenario::Client::kUCLA,
+                            cloud::ProviderKind::kDropbox,
+                            scenario::paper_file_sizes_bytes());
+  bench::print_figure("=== Fig 11: UCLA -> Dropbox ===",
+                      scenario::Client::kUCLA, cloud::ProviderKind::kDropbox,
+                      series);
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+namespace droute::bench {
+
+std::uint64_t bench_seed() {
+  if (const char* env = std::getenv("DROUTE_BENCH_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 2016;  // the paper's publication year, for flavour
+}
+
+measure::Protocol bench_protocol() {
+  measure::Protocol protocol;  // 7 runs, keep last 5 (the paper's Sec II)
+  if (const char* env = std::getenv("DROUTE_BENCH_RUNS")) {
+    protocol.total_runs = std::atoi(env);
+    protocol.keep_last = std::min(protocol.keep_last, protocol.total_runs);
+  }
+  return protocol;
+}
+
+std::vector<RouteSeries> measure_figure(
+    scenario::Client client, cloud::ProviderKind provider,
+    const std::vector<std::uint64_t>& sizes) {
+  measure::Campaign campaign(bench_seed());
+  for (const auto route : scenario::all_routes()) {
+    campaign.add_route(scenario::route_name(route),
+                       scenario::make_transfer_fn(client, provider, route));
+  }
+  util::ThreadPool pool;
+  const auto grid = campaign.run_grid(sizes, bench_protocol(), &pool);
+
+  std::vector<RouteSeries> out;
+  for (const auto route : scenario::all_routes()) {
+    RouteSeries series;
+    series.route = route;
+    for (const std::uint64_t bytes : sizes) {
+      series.by_size[bytes] =
+          grid.at({scenario::route_name(route), bytes});
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+void print_figure(const std::string& title, scenario::Client client,
+                  cloud::ProviderKind provider,
+                  const std::vector<RouteSeries>& series) {
+  std::printf("%s\n", title.c_str());
+  std::printf("Upload from %s to %s — mean of last 5 of 7 runs, +/- 1 sd\n\n",
+              scenario::client_name(client).c_str(),
+              cloud::provider_name(provider).c_str());
+
+  std::vector<std::string> header{"File size (MB)"};
+  for (const auto& s : series) {
+    header.push_back(scenario::route_name(s.route) + " (s)");
+  }
+  util::TextTable table(header);
+  for (const auto& [bytes, unused] : series.front().by_size) {
+    (void)unused;
+    std::vector<std::string> row{util::fmt_mb(bytes)};
+    for (const auto& s : series) {
+      const auto& m = s.by_size.at(bytes);
+      row.push_back(util::fmt_seconds(m.kept.mean) + " +/- " +
+                    util::fmt_seconds(m.kept.stddev));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // CSV block for plotting.
+  util::TextTable csv(header);
+  for (const auto& [bytes, unused] : series.front().by_size) {
+    (void)unused;
+    std::vector<std::string> row{util::fmt_mb(bytes)};
+    for (const auto& s : series) {
+      row.push_back(util::fmt_double(s.by_size.at(bytes).kept.mean, 4));
+    }
+    csv.add_row(std::move(row));
+  }
+  std::printf("CSV:\n%s\n", csv.render_csv().c_str());
+}
+
+void print_percent_table(const std::string& title,
+                         const std::vector<RouteSeries>& series) {
+  std::printf("%s\n\n", title.c_str());
+  const RouteSeries* direct = nullptr;
+  for (const auto& s : series) {
+    if (s.route == scenario::RouteChoice::kDirect) direct = &s;
+  }
+  if (direct == nullptr) return;
+
+  std::vector<std::string> header{"File size (MB)", "Direct (s)"};
+  for (const auto& s : series) {
+    if (s.route == scenario::RouteChoice::kDirect) continue;
+    header.push_back(scenario::route_name(s.route) + " (s) [%]");
+  }
+  util::TextTable table(header);
+  for (const auto& [bytes, m_direct] : direct->by_size) {
+    std::vector<std::string> row{util::fmt_mb(bytes),
+                                 util::fmt_seconds(m_direct.kept.mean)};
+    for (const auto& s : series) {
+      if (s.route == scenario::RouteChoice::kDirect) continue;
+      const auto& m = s.by_size.at(bytes);
+      const double gain =
+          m_direct.kept.mean > 0
+              ? (m.kept.mean - m_direct.kept.mean) / m_direct.kept.mean
+              : 0.0;
+      row.push_back(util::fmt_seconds(m.kept.mean) + " [" +
+                    util::fmt_percent(gain) + "]");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void print_paper_comparison(const std::string& caption,
+                            const std::vector<PaperRow>& paper,
+                            const std::vector<RouteSeries>& series) {
+  std::printf("%s\n\n", caption.c_str());
+  auto series_for = [&](scenario::RouteChoice route) -> const RouteSeries* {
+    for (const auto& s : series) {
+      if (s.route == route) return &s;
+    }
+    return nullptr;
+  };
+  const RouteSeries* direct = series_for(scenario::RouteChoice::kDirect);
+  const RouteSeries* via_ua = series_for(scenario::RouteChoice::kViaUAlberta);
+  const RouteSeries* via_um = series_for(scenario::RouteChoice::kViaUMich);
+
+  util::TextTable table({"MB", "paper direct", "ours direct", "paper via UA",
+                         "ours via UA", "paper via UMich", "ours via UMich"});
+  for (const PaperRow& row : paper) {
+    const std::uint64_t bytes = row.mb * util::kMB;
+    table.add_row({std::to_string(row.mb), util::fmt_seconds(row.direct_s),
+                   util::fmt_seconds(direct->by_size.at(bytes).kept.mean),
+                   util::fmt_seconds(row.via_ua_s),
+                   util::fmt_seconds(via_ua->by_size.at(bytes).kept.mean),
+                   util::fmt_seconds(row.via_umich_s),
+                   util::fmt_seconds(via_um->by_size.at(bytes).kept.mean)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace droute::bench

@@ -1,0 +1,61 @@
+// Shared harness for the per-figure/per-table bench binaries.
+//
+// Every bench runs the paper's measurement protocol (7 runs, mean of last 5,
+// 1 stddev error bars) over the calibrated scenario and prints (a) the
+// paper's reported numbers next to ours, and (b) a CSV block for plotting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "measure/campaign.h"
+#include "scenario/north_america.h"
+
+namespace droute::bench {
+
+/// Campaign seed shared by all benches (the "experiment was run once" view);
+/// override with DROUTE_BENCH_SEED for replication studies.
+std::uint64_t bench_seed();
+
+/// Number of measurement runs (default: the paper's 7/5 protocol; override
+/// with DROUTE_BENCH_RUNS for quick smoke runs).
+measure::Protocol bench_protocol();
+
+struct RouteSeries {
+  scenario::RouteChoice route;
+  std::map<std::uint64_t, measure::Measurement> by_size;  // keyed by bytes
+};
+
+/// Measures all three routes for one (client, provider) pair across the
+/// paper's file sizes. Runs cells in parallel on a thread pool.
+std::vector<RouteSeries> measure_figure(scenario::Client client,
+                                        cloud::ProviderKind provider,
+                                        const std::vector<std::uint64_t>& sizes);
+
+/// Prints the Fig 2/4/7/8/9/10/11-style series: one row per size, one
+/// mean+/-sd column per route, plus a CSV block.
+void print_figure(const std::string& title, scenario::Client client,
+                  cloud::ProviderKind provider,
+                  const std::vector<RouteSeries>& series);
+
+/// Prints the Table II/III format: direct mean plus detour means with
+/// relative gain/loss percentages in brackets.
+void print_percent_table(const std::string& title,
+                         const std::vector<RouteSeries>& series);
+
+/// Expected paper values for side-by-side comparison rows.
+struct PaperRow {
+  std::uint64_t mb;
+  double direct_s;
+  double via_ua_s;
+  double via_umich_s;
+};
+
+void print_paper_comparison(const std::string& caption,
+                            const std::vector<PaperRow>& paper,
+                            const std::vector<RouteSeries>& series);
+
+}  // namespace droute::bench

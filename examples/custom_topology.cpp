@@ -1,0 +1,117 @@
+// Define your own WAN in the droute topology text format, then probe it:
+// writes a sample two-path world to a temp file, loads it, routes through
+// it, runs a transfer both ways and a traceroute — the starter kit for
+// modelling your institution's own routing inefficiencies.
+//
+//   $ ./custom_topology [path/to/topology.txt]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/fabric.h"
+#include "net/topology_io.h"
+#include "trace/traceroute.h"
+#include "util/units.h"
+
+namespace {
+constexpr const char* kSampleWorld = R"(# sample: a campus with a policed
+# commodity path and a clean research path to one cloud front end
+as Campus
+as Commodity
+as Research
+as Cloud
+relate Commodity customer Campus
+relate Research customer Campus
+relate Commodity peer Cloud
+relate Research peer Cloud
+
+node desktop.campus.edu host Campus 53.5 -113.5 city="Edmonton, AB"
+node border.campus.edu router Campus 53.5 -113.5
+node cr1.commodity.net router Commodity 51.0 -114.0
+node rr1.research.net router Research 49.3 -123.1
+node edge.cloud.com router Cloud 47.6 -122.3
+node fe.cloud.com host Cloud 47.6 -122.3 city="Seattle, WA"
+
+link desktop.campus.edu border.campus.edu cap=1000 delay_ms=0.3 duplex
+link border.campus.edu cr1.commodity.net cap=200 delay_ms=3 policer=8 duplex
+link border.campus.edu rr1.research.net cap=200 delay_ms=6 duplex
+link cr1.commodity.net edge.cloud.com cap=1000 delay_ms=5 duplex
+link rr1.research.net edge.cloud.com cap=1000 delay_ms=4 duplex
+link edge.cloud.com fe.cloud.com cap=10000 delay_ms=0.2 duplex
+)";
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace droute;
+
+  std::string text;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+    std::printf("loaded topology from %s\n\n", argv[1]);
+  } else {
+    text = kSampleWorld;
+    std::printf("using the built-in sample topology (pass a file to load "
+                "your own)\n\n%s\n", kSampleWorld);
+  }
+
+  auto parsed = net::parse_topology(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  net::Topology topo = std::move(parsed).value();
+  net::RouteTable routes(&topo);
+  sim::Simulator simulator;
+  net::Fabric fabric(&simulator, &topo, &routes);
+
+  const auto src = topo.find_node("desktop.campus.edu");
+  const auto dst = topo.find_node("fe.cloud.com");
+  if (!src || !dst) {
+    std::fprintf(stderr, "sample expects desktop.campus.edu / fe.cloud.com; "
+                         "adapt the node names below for your file\n");
+    return 1;
+  }
+
+  trace::Tracer tracer(&topo, &routes);
+  auto traced = tracer.trace(*src, *dst);
+  if (traced.ok()) {
+    std::printf("current route:\n%s\n",
+                traced.value().render(topo).c_str());
+  }
+
+  // Time a 50 MB flow along the default route.
+  bool done = false;
+  double elapsed = 0.0;
+  auto flow = fabric.start_flow(*src, *dst, 50 * util::kMB,
+                                [&](const net::FlowStats& stats) {
+                                  done = true;
+                                  elapsed = stats.duration_s();
+                                });
+  if (!flow.ok()) {
+    std::fprintf(stderr, "no route: %s\n", flow.error().message.c_str());
+    return 1;
+  }
+  simulator.run();
+  std::printf("50 MB along the default route: %.2f s (%.1f Mbps)\n", elapsed,
+              done ? 50.0 * 8.0 / elapsed : 0.0);
+
+  // Show what the path metrics say about it.
+  const auto route = routes.route(*src, *dst).value();
+  std::printf("  bottleneck capacity : %.1f Mbps\n",
+              routes.bottleneck_capacity_mbps(route));
+  const double policer = routes.min_policer_mbps(route);
+  if (policer > 0) {
+    std::printf("  per-flow policer    : %.1f Mbps  <- your inefficiency\n",
+                policer);
+  }
+  std::printf("  one-way delay       : %.1f ms\n",
+              routes.one_way_delay_s(route) * 1e3);
+  return 0;
+}

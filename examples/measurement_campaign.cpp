@@ -1,0 +1,52 @@
+// Run a full measurement campaign with the paper's protocol and emit a CSV
+// suitable for plotting every figure — the "reproduce my thesis chapter"
+// entry point.
+//
+//   $ ./measurement_campaign [runs] > campaign.csv
+#include <cstdio>
+#include <cstdlib>
+
+#include "measure/campaign.h"
+#include "scenario/north_america.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace droute;
+  measure::Protocol protocol;
+  if (argc > 1) {
+    protocol.total_runs = std::atoi(argv[1]);
+    protocol.keep_last = std::min(protocol.keep_last, protocol.total_runs);
+  }
+
+  measure::Campaign campaign(2016);
+  for (const auto client : scenario::all_clients()) {
+    for (const auto provider : cloud::all_providers()) {
+      for (const auto route : scenario::all_routes()) {
+        const std::string key = scenario::client_name(client) + "," +
+                                cloud::provider_name(provider) + "," +
+                                scenario::route_name(route);
+        campaign.add_route(key,
+                           scenario::make_transfer_fn(client, provider, route));
+      }
+    }
+  }
+
+  std::fprintf(stderr,
+               "measuring %zu routes x %zu sizes x %d runs in parallel...\n",
+               campaign.route_keys().size(),
+               scenario::paper_file_sizes_bytes().size(),
+               protocol.total_runs);
+  util::ThreadPool pool;
+  const auto grid =
+      campaign.run_grid(scenario::paper_file_sizes_bytes(), protocol, &pool);
+
+  std::printf("client,provider,route,size_mb,mean_s,stddev_s,runs,failures\n");
+  for (const auto& [key, measurement] : grid) {
+    std::printf("%s,%llu,%.3f,%.3f,%zu,%d\n", key.first.c_str(),
+                static_cast<unsigned long long>(key.second / util::kMB),
+                measurement.kept.mean, measurement.kept.stddev,
+                measurement.runs.size(), measurement.failures);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: build the paper's measurement world, upload one file directly
+// and via a detour, and print the comparison — the intro's 87 s vs 36 s
+// observation in a dozen lines of API.
+//
+//   $ ./quickstart [size_mb]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scenario/north_america.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace droute;
+  const std::uint64_t size_mb =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100;
+  const std::uint64_t bytes = size_mb * util::kMB;
+
+  std::printf("droute quickstart: uploading a %llu MB random file from the\n"
+              "UBC PlanetLab node to Google Drive.\n\n",
+              static_cast<unsigned long long>(size_mb));
+
+  // Each World is an independent simulation universe. Direct upload:
+  scenario::WorldConfig config;
+  config.cross_traffic = false;
+  auto direct_world = scenario::World::create(config);
+  auto direct = direct_world->run_upload(
+      scenario::Client::kUBC, cloud::ProviderKind::kGoogleDrive,
+      scenario::RouteChoice::kDirect, bytes);
+  if (!direct.ok()) {
+    std::fprintf(stderr, "direct upload failed: %s\n",
+                 direct.error().message.c_str());
+    return 1;
+  }
+
+  // Detoured upload via the UAlberta DTN (rsync leg + API leg):
+  auto detour_world = scenario::World::create(config);
+  auto detour = detour_world->run_upload(
+      scenario::Client::kUBC, cloud::ProviderKind::kGoogleDrive,
+      scenario::RouteChoice::kViaUAlberta, bytes);
+  if (!detour.ok()) {
+    std::fprintf(stderr, "detoured upload failed: %s\n",
+                 detour.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("  direct        UBC -> Google Drive          : %7.2f s\n",
+              direct.value());
+  std::printf("  detour        UBC -> UAlberta -> GDrive    : %7.2f s\n",
+              detour.value());
+  std::printf("  speedup                                    : %7.2fx\n\n",
+              direct.value() / detour.value());
+  std::printf("The detour wins despite the geographic backtrack through\n"
+              "Edmonton — a throughput triangle-inequality violation caused\n"
+              "by the policed PacificWave egress on the direct path.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Real-socket demo of the routing-detour mitigation on loopback:
+// a cloud "sink" with a policed ingress (the bad path) and an open ingress
+// (the good path), plus a relay daemon acting as the DTN.
+//
+//   $ ./socket_relay [payload_mib]
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/blob.h"
+#include "util/rng.h"
+#include "wire/client.h"
+#include "wire/relay.h"
+#include "wire/sink.h"
+
+int main(int argc, char** argv) {
+  using namespace droute;
+  const std::size_t mib =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+
+  wire::Sink sink;
+  auto policed_port = sink.add_ingress(4e6);  // 4 MB/s policed path
+  auto open_port = sink.add_ingress(0.0);     // unthrottled peering path
+  if (!policed_port.ok() || !open_port.ok() || !sink.start().ok()) {
+    std::fprintf(stderr, "sink startup failed\n");
+    return 1;
+  }
+
+  wire::RelayDaemon::Options relay_options;
+  relay_options.mode = wire::RelayMode::kStoreAndForward;
+  wire::RelayDaemon relay(relay_options);
+  auto relay_port = relay.start();
+  if (!relay_port.ok()) {
+    std::fprintf(stderr, "relay startup failed: %s\n",
+                 relay_port.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("sink: policed ingress :%u (4 MB/s), open ingress :%u\n",
+              policed_port.value(), open_port.value());
+  std::printf("relay (DTN): :%u, store-and-forward\n\n", relay_port.value());
+
+  util::Rng rng(1);
+  const util::Blob payload = util::make_random_blob(rng, mib << 20);
+  std::printf("uploading %zu MiB of random data...\n\n", mib);
+
+  auto direct = wire::upload_direct(policed_port.value(), payload);
+  if (!direct.ok()) {
+    std::fprintf(stderr, "direct upload failed: %s\n",
+                 direct.error().message.c_str());
+    return 1;
+  }
+  std::printf("  direct (policed path) : %6.2f s  %6.1f MB/s  digest %s\n",
+              direct.value().seconds, direct.value().mbytes_per_s,
+              direct.value().digest_ok ? "ok" : "MISMATCH");
+
+  auto detour = wire::upload_via_relay(relay_port.value(), open_port.value(),
+                                       payload);
+  if (!detour.ok()) {
+    std::fprintf(stderr, "detoured upload failed: %s\n",
+                 detour.error().message.c_str());
+    return 1;
+  }
+  std::printf("  detour (via relay)    : %6.2f s  %6.1f MB/s  digest %s\n\n",
+              detour.value().seconds, detour.value().mbytes_per_s,
+              detour.value().digest_ok ? "ok" : "MISMATCH");
+  std::printf("  speedup: %.1fx — same server, different ingress treatment;\n"
+              "  exactly the paper's PacificWave-vs-peering asymmetry.\n",
+              direct.value().seconds / detour.value().seconds);
+
+  relay.stop();
+  sink.stop();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Synthetic content identity shared by clients and servers.
+//
+// Simulated transfers move byte *counts*; integrity is carried by digests
+// derived deterministically from (content seed, offset, length). Both sides
+// of an exchange derive the same digest for the same range, so ordering and
+// completeness bugs still fail loudly (see transfer/file_spec.h for the
+// fidelity argument).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rsyncx/md5.h"
+
+namespace droute::cloud {
+
+/// Digest standing in for MD5(content[offset, offset+length)) of the file
+/// identified by `content_seed`.
+inline rsyncx::Md5Digest synthetic_range_digest(std::uint64_t content_seed,
+                                                std::uint64_t offset,
+                                                std::uint64_t length) {
+  std::array<std::uint8_t, 24> key{};
+  for (int i = 0; i < 8; ++i) {
+    key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(content_seed >> (8 * i));
+    key[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(offset >> (8 * i));
+    key[static_cast<std::size_t>(16 + i)] =
+        static_cast<std::uint8_t>(length >> (8 * i));
+  }
+  return rsyncx::Md5::hash(key);
+}
+
+}  // namespace droute::cloud

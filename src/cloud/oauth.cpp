@@ -1,0 +1,47 @@
+#include "cloud/oauth.h"
+
+#include <cstdio>
+
+namespace droute::cloud {
+
+OAuthSession::OAuthSession(std::string client_id, double token_lifetime_s,
+                           std::uint64_t seed)
+    : client_id_(std::move(client_id)),
+      token_lifetime_s_(token_lifetime_s),
+      rng_(seed) {
+  DROUTE_CHECK(token_lifetime_s_ > 0, "token lifetime must be positive");
+}
+
+std::string OAuthSession::mint(sim::Time now) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "ya29.%s.%016llx.%010.3f",
+                client_id_.c_str(),
+                static_cast<unsigned long long>(rng_.next_u64()), now);
+  return buf;
+}
+
+AccessToken OAuthSession::ensure_token(sim::Time now, bool* refreshed) {
+  const bool need_refresh = !have_token_ || current_.expired_at(now);
+  if (need_refresh) {
+    current_.value = mint(now);
+    current_.issued_at = now;
+    current_.lifetime_s = token_lifetime_s_;
+    have_token_ = true;
+    ++refresh_count_;
+  }
+  if (refreshed) *refreshed = need_refresh;
+  return current_;
+}
+
+util::Status OAuthSession::validate(const AccessToken& token,
+                                    sim::Time now) const {
+  if (!have_token_ || token.value != current_.value) {
+    return util::Status::failure("invalid_grant: unknown bearer token", 401);
+  }
+  if (token.expired_at(now)) {
+    return util::Status::failure("invalid_grant: token expired", 401);
+  }
+  return util::Status::success();
+}
+
+}  // namespace droute::cloud

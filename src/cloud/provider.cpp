@@ -1,0 +1,71 @@
+#include "cloud/provider.h"
+
+namespace droute::cloud {
+
+std::vector<ProviderKind> all_providers() {
+  return {ProviderKind::kGoogleDrive, ProviderKind::kDropbox,
+          ProviderKind::kOneDrive};
+}
+
+std::string provider_name(ProviderKind kind) {
+  switch (kind) {
+    case ProviderKind::kGoogleDrive: return "Google Drive";
+    case ProviderKind::kDropbox:     return "Dropbox";
+    case ProviderKind::kOneDrive:    return "OneDrive";
+  }
+  return "?";
+}
+
+ApiProfile default_profile(ProviderKind kind) {
+  ApiProfile profile;
+  switch (kind) {
+    case ProviderKind::kGoogleDrive:
+      profile.chunk_bytes = 8ull * 1024 * 1024;
+      profile.session_init_rtts = 2.0;  // OAuth'd POST + 200 w/ session URI
+      profile.per_chunk_rtts = 1.0;
+      profile.finalize_rtts = 1.0;
+      break;
+    case ProviderKind::kDropbox:
+      profile.chunk_bytes = 8ull * 1024 * 1024;
+      profile.session_init_rtts = 1.0;  // upload_session/start
+      profile.per_chunk_rtts = 1.0;     // append_v2
+      profile.finalize_rtts = 2.0;      // finish + commit metadata
+      break;
+    case ProviderKind::kOneDrive:
+      profile.chunk_bytes = 10ull * 1024 * 1024;
+      profile.chunk_alignment_bytes = 320ull * 1024;
+      profile.session_init_rtts = 2.0;  // createUploadSession
+      profile.per_chunk_rtts = 1.0;
+      profile.finalize_rtts = 1.0;      // final fragment metadata response
+      break;
+  }
+  return profile;
+}
+
+util::Result<std::vector<std::uint64_t>> chunk_sizes(
+    const ApiProfile& profile, std::uint64_t file_bytes) {
+  if (file_bytes == 0) {
+    return util::Error::make("cannot upload an empty file");
+  }
+  DROUTE_CHECK(profile.chunk_bytes > 0, "profile chunk size must be positive");
+  DROUTE_CHECK(profile.chunk_bytes % profile.chunk_alignment_bytes == 0,
+               "profile chunk size must respect its own alignment");
+  std::vector<std::uint64_t> chunks;
+  std::uint64_t remaining = file_bytes;
+  while (remaining > profile.chunk_bytes) {
+    chunks.push_back(profile.chunk_bytes);
+    remaining -= profile.chunk_bytes;
+  }
+  chunks.push_back(remaining);
+  return chunks;
+}
+
+double total_rtt_units(const ApiProfile& profile, std::uint64_t file_bytes) {
+  auto chunks = chunk_sizes(profile, file_bytes);
+  if (!chunks.ok()) return 0.0;
+  return profile.session_init_rtts +
+         profile.per_chunk_rtts * static_cast<double>(chunks.value().size()) +
+         profile.finalize_rtts;
+}
+
+}  // namespace droute::cloud

@@ -1,0 +1,60 @@
+// Cloud-storage provider catalogue and REST-API cost profiles.
+//
+// The three providers the paper measures differ not in raw bandwidth but in
+// *API shape*: session initiation handshakes, chunk sizes, per-chunk
+// turnarounds and commit costs. These profiles mirror the public APIs the
+// paper's Java clients used:
+//   * Google Drive : resumable upload — initiate, 8 MiB PUT chunks, each
+//                    acknowledged with a 308/200 turnaround.
+//   * Dropbox      : upload_session/start, append_v2 with 8 MiB parts,
+//                    upload_session/finish commit.
+//   * OneDrive     : createUploadSession, 10 MiB fragments (320 KiB-aligned),
+//                    completion implied by the final fragment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace droute::cloud {
+
+enum class ProviderKind { kGoogleDrive, kDropbox, kOneDrive };
+
+/// All ProviderKind values, in the paper's column order.
+std::vector<ProviderKind> all_providers();
+
+std::string provider_name(ProviderKind kind);
+
+/// REST upload cost profile. RTT counts are request/response turnarounds
+/// charged in addition to the payload's transfer time.
+struct ApiProfile {
+  std::uint64_t chunk_bytes = 8ull * 1024 * 1024;
+  double session_init_rtts = 2.0;   // auth'd POST creating the session
+  double per_chunk_rtts = 1.0;      // ack turnaround after each chunk
+  double finalize_rtts = 1.0;       // commit / metadata response
+  std::uint64_t per_chunk_header_bytes = 1200;  // HTTP + JSON overhead
+  /// Alignment required for all but the final chunk (OneDrive: 320 KiB).
+  std::uint64_t chunk_alignment_bytes = 1;
+  /// Server-side request throttling: at most `max_requests_per_window`
+  /// API calls per `throttle_window_s` sliding window (0 = unlimited).
+  /// Over-limit requests get 429 + Retry-After, which clients honour with
+  /// exponential backoff (all three real providers throttle this way).
+  int max_requests_per_window = 0;
+  double throttle_window_s = 60.0;
+  double retry_after_s = 2.0;
+};
+
+/// Default profile for each provider.
+ApiProfile default_profile(ProviderKind kind);
+
+/// Splits `file_bytes` into API chunk sizes per `profile` (all chunks
+/// aligned, last chunk carries the remainder). Fails on zero-size files.
+util::Result<std::vector<std::uint64_t>> chunk_sizes(
+    const ApiProfile& profile, std::uint64_t file_bytes);
+
+/// Total protocol turnarounds (in RTT units) for a file of `file_bytes`.
+double total_rtt_units(const ApiProfile& profile, std::uint64_t file_bytes);
+
+}  // namespace droute::cloud

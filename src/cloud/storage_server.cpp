@@ -1,0 +1,126 @@
+#include "cloud/storage_server.h"
+
+#include "cloud/content.h"
+
+namespace droute::cloud {
+
+util::Status StorageServer::check_throttle() {
+  if (!now_fn_ || profile_.max_requests_per_window <= 0) {
+    return util::Status::success();
+  }
+  const double now = now_fn_();
+  while (!request_times_.empty() &&
+         request_times_.front() < now - profile_.throttle_window_s) {
+    request_times_.pop_front();
+  }
+  if (static_cast<int>(request_times_.size()) >=
+      profile_.max_requests_per_window) {
+    ++throttled_;
+    return util::Status::failure("rate limited (Retry-After)", 429);
+  }
+  request_times_.push_back(now);
+  return util::Status::success();
+}
+
+util::Result<SessionId> StorageServer::create_session(
+    const std::string& name, std::uint64_t total_bytes,
+    std::uint64_t content_seed) {
+  if (auto throttle = check_throttle(); !throttle.ok()) {
+    return util::Error{throttle.error()};
+  }
+  if (name.empty()) return util::Error::make("object name must be non-empty");
+  if (total_bytes == 0) return util::Error::make("zero-length upload");
+  const SessionId id = next_session_++;
+  Session session;
+  session.name = name;
+  session.total_bytes = total_bytes;
+  session.content_seed = content_seed;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+util::Status StorageServer::append_chunk(SessionId session,
+                                         std::uint64_t offset,
+                                         std::uint64_t length,
+                                         const rsyncx::Md5Digest& chunk_md5) {
+  if (auto throttle = check_throttle(); !throttle.ok()) return throttle;
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return util::Status::failure("unknown upload session", 404);
+  }
+  Session& s = it->second;
+  if (offset != s.received) {
+    return util::Status::failure("chunk offset mismatch (out of order?)", 409);
+  }
+  if (length == 0) return util::Status::failure("empty chunk", 400);
+  if (s.received + length > s.total_bytes) {
+    return util::Status::failure("chunk overruns declared size", 400);
+  }
+  const bool is_last = s.received + length == s.total_bytes;
+  if (!is_last) {
+    if (length % profile_.chunk_alignment_bytes != 0) {
+      return util::Status::failure("non-final chunk violates alignment", 400);
+    }
+    if (length != profile_.chunk_bytes) {
+      return util::Status::failure("non-final chunk must be full-sized", 400);
+    }
+  }
+  s.received += length;
+  s.rolling_digest.update(chunk_md5);
+  return util::Status::success();
+}
+
+util::Result<StoredObject> StorageServer::finalize(
+    SessionId session, const rsyncx::Md5Digest& declared_md5) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return util::Error::make("unknown upload session", 404);
+  }
+  Session& s = it->second;
+  if (s.received != s.total_bytes) {
+    return util::Error::make("finalize before all bytes received", 400);
+  }
+  const rsyncx::Md5Digest accumulated = s.rolling_digest.finalize();
+  if (accumulated != declared_md5) {
+    sessions_.erase(it);
+    return util::Error::make("integrity check failed on commit", 412);
+  }
+  StoredObject object;
+  object.name = s.name;
+  object.size = s.total_bytes;
+  object.md5 = accumulated;
+  object.content_seed = s.content_seed;
+  objects_[object.name] = object;
+  sessions_.erase(it);
+  return object;
+}
+
+void StorageServer::abandon(SessionId session) { sessions_.erase(session); }
+
+std::optional<StoredObject> StorageServer::lookup(
+    const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+util::Result<StoredObject> StorageServer::stat(const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return util::Error::make("no such object", 404);
+  return it->second;
+}
+
+util::Result<rsyncx::Md5Digest> StorageServer::read_range(
+    const std::string& name, std::uint64_t offset,
+    std::uint64_t length) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return util::Error::make("no such object", 404);
+  const StoredObject& object = it->second;
+  if (length == 0) return util::Error::make("zero-length range", 416);
+  if (offset >= object.size || length > object.size - offset) {
+    return util::Error::make("range not satisfiable", 416);
+  }
+  return synthetic_range_digest(object.content_seed, offset, length);
+}
+
+}  // namespace droute::cloud

@@ -1,0 +1,124 @@
+// Server-side state machine of a cloud-storage provider's upload API.
+//
+// Enforces what the real services enforce: sessions must exist, chunks must
+// arrive in order at the expected offset, all chunks except the last must be
+// full/aligned, and the committed object's size and MD5 must match what the
+// client declared. Transfer engines drive this machine as their simulated
+// chunks complete, so a protocol bug in an engine fails loudly in tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cloud/provider.h"
+#include "rsyncx/md5.h"
+#include "util/result.h"
+
+namespace droute::cloud {
+
+struct StoredObject {
+  std::string name;
+  std::uint64_t size = 0;
+  rsyncx::Md5Digest md5{};
+  /// Synthetic content identity (see cloud/content.h); lets download
+  /// clients verify ranges against the same digest chain uploads produced.
+  std::uint64_t content_seed = 0;
+};
+
+using SessionId = std::uint64_t;
+
+class StorageServer {
+ public:
+  StorageServer(ProviderKind kind, ApiProfile profile)
+      : kind_(kind), profile_(profile) {}
+
+  /// Attaches a clock for request-throttle bookkeeping. Without a clock the
+  /// throttle is inactive regardless of the profile (unlimited).
+  void set_clock(std::function<double()> now_fn) {
+    now_fn_ = std::move(now_fn);
+  }
+
+  /// Requests rejected with 429 so far (observability for tests/benches).
+  std::uint64_t throttled_requests() const { return throttled_; }
+
+  ProviderKind kind() const { return kind_; }
+  const ApiProfile& profile() const { return profile_; }
+
+  /// Opens an upload session for `name` totalling `total_bytes`.
+  /// `content_seed` is the object's synthetic content identity.
+  util::Result<SessionId> create_session(const std::string& name,
+                                         std::uint64_t total_bytes,
+                                         std::uint64_t content_seed = 0);
+
+  /// Appends a chunk at `offset`. Chunk content is summarized by its MD5
+  /// (the simulator moves byte *counts*; the digest carries integrity).
+  util::Status append_chunk(SessionId session, std::uint64_t offset,
+                            std::uint64_t length,
+                            const rsyncx::Md5Digest& chunk_md5);
+
+  /// Commits the session; `declared_md5` is the client's whole-file digest,
+  /// checked against the digest accumulated from the chunks.
+  util::Result<StoredObject> finalize(SessionId session,
+                                      const rsyncx::Md5Digest& declared_md5);
+
+  /// Drops an in-progress session (client abort / failure injection).
+  void abandon(SessionId session);
+
+  std::optional<StoredObject> lookup(const std::string& name) const;
+  std::size_t object_count() const { return objects_.size(); }
+  std::size_t open_sessions() const { return sessions_.size(); }
+
+  // --- Download API (ranged GET semantics) --------------------------------
+
+  /// Metadata request ("files.get"): size + digest + content identity.
+  util::Result<StoredObject> stat(const std::string& name) const;
+
+  /// Validates and serves a byte range; returns the range's digest (the
+  /// body itself moves as a simulated flow). Rejects out-of-bounds and
+  /// zero-length ranges like the real APIs' 416 responses.
+  util::Result<rsyncx::Md5Digest> read_range(const std::string& name,
+                                             std::uint64_t offset,
+                                             std::uint64_t length) const;
+
+ private:
+  struct Session {
+    std::string name;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t content_seed = 0;
+    std::uint64_t received = 0;
+    // Digest-of-digests: order-sensitive accumulation of chunk MD5s. Equality
+    // with the client's same accumulation proves in-order intact delivery.
+    rsyncx::Md5 rolling_digest;
+  };
+
+  // Sliding-window throttle; returns failure(429) when over budget.
+  util::Status check_throttle();
+
+  ProviderKind kind_;
+  ApiProfile profile_;
+  std::function<double()> now_fn_;
+  std::deque<double> request_times_;
+  std::uint64_t throttled_ = 0;
+  SessionId next_session_ = 1;
+  std::map<SessionId, Session> sessions_;
+  std::map<std::string, StoredObject> objects_;
+};
+
+/// Client-side helper computing the same digest-of-digests the server
+/// accumulates, so engines can produce the `declared_md5` for finalize().
+class ChunkDigester {
+ public:
+  void add_chunk(const rsyncx::Md5Digest& chunk_md5) {
+    digest_.update(chunk_md5);
+  }
+  rsyncx::Md5Digest finish() { return digest_.finalize(); }
+
+ private:
+  rsyncx::Md5 digest_;
+};
+
+}  // namespace droute::cloud

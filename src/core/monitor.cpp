@@ -1,0 +1,59 @@
+#include "core/monitor.h"
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace droute::core {
+
+void DynamicMonitor::observe(const std::string& route, double mbps) {
+  DROUTE_CHECK(mbps >= 0.0, "negative throughput observation");
+  State& state = routes_[route];
+  if (state.observations == 0) {
+    state.ewma = mbps;
+  }
+  ++state.observations;
+
+  // Judge the new sample against the baseline *before* folding it in, so a
+  // sudden collapse is compared with the healthy history.
+  if (state.observations > options_.min_observations &&
+      mbps < options_.degrade_fraction * state.ewma) {
+    if (++state.strikes >= options_.strikes_to_degrade) state.degraded = true;
+    // A degraded route's baseline is frozen: folding collapse samples into
+    // the EWMA would normalize the failure and mask recovery detection.
+    if (state.degraded) return;
+  } else {
+    state.strikes = 0;
+  }
+  state.ewma = options_.ewma_alpha * mbps +
+               (1.0 - options_.ewma_alpha) * state.ewma;
+}
+
+std::optional<double> DynamicMonitor::baseline_mbps(
+    const std::string& route) const {
+  const auto it = routes_.find(route);
+  if (it == routes_.end() || it->second.observations == 0) return std::nullopt;
+  return it->second.ewma;
+}
+
+bool DynamicMonitor::is_degraded(const std::string& route) const {
+  const auto it = routes_.find(route);
+  return it != routes_.end() && it->second.degraded;
+}
+
+void DynamicMonitor::reset(const std::string& route) {
+  const auto it = routes_.find(route);
+  if (it == routes_.end()) return;
+  it->second.strikes = 0;
+  it->second.degraded = false;
+}
+
+std::vector<std::string> DynamicMonitor::degraded_routes() const {
+  std::vector<std::string> out;
+  for (const auto& [route, state] : routes_) {
+    if (state.degraded) out.push_back(route);
+  }
+  return out;
+}
+
+}  // namespace droute::core

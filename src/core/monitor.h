@@ -1,0 +1,59 @@
+// DynamicMonitor — the paper's stated future work: "monitor and bypass
+// dynamic bottlenecks on the WAN".
+//
+// Maintains an EWMA throughput estimate per route from periodic probe
+// observations and flags a route as degraded when fresh observations fall
+// below a fraction of the established baseline for several consecutive
+// probes (hysteresis avoids flapping on one bad sample). The re-route
+// decision itself is the caller's (pair this with RouteAdvisor/overlay).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace droute::core {
+
+class DynamicMonitor {
+ public:
+  struct Options {
+    double ewma_alpha = 0.3;          // weight of the newest observation
+    double degrade_fraction = 0.6;    // obs < fraction * baseline => strike
+    int strikes_to_degrade = 3;       // consecutive strikes before flagging
+    int min_observations = 3;         // baseline warm-up before judging
+  };
+
+  DynamicMonitor() : options_(Options{}) {}
+  explicit DynamicMonitor(Options options) : options_(options) {}
+
+  /// Feeds one probe observation (throughput in Mbps) for a route.
+  void observe(const std::string& route, double mbps);
+
+  /// Current EWMA baseline; nullopt until the route has been observed.
+  std::optional<double> baseline_mbps(const std::string& route) const;
+
+  /// True when the route has been flagged degraded (see Options).
+  bool is_degraded(const std::string& route) const;
+
+  /// Clears the degraded flag and strike count (after a re-route or repair);
+  /// the learned baseline is kept.
+  void reset(const std::string& route);
+
+  /// Routes currently flagged degraded.
+  std::vector<std::string> degraded_routes() const;
+
+ private:
+  struct State {
+    double ewma = 0.0;
+    int observations = 0;
+    int strikes = 0;
+    bool degraded = false;
+  };
+
+  Options options_;
+  std::map<std::string, State> routes_;
+};
+
+}  // namespace droute::core

@@ -1,0 +1,101 @@
+#include "core/multihop.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace droute::core {
+
+namespace {
+
+struct Label {
+  double time = std::numeric_limits<double>::infinity();
+  std::vector<std::string> path;  // waypoints used to reach this endpoint
+};
+
+}  // namespace
+
+std::vector<MultiHopRoute> multihop_frontier(const TimeMatrix& matrix,
+                                             const std::string& src,
+                                             const std::string& dst,
+                                             MultiHopOptions options) {
+  DROUTE_CHECK(options.max_extra_hops >= 0, "negative hop budget");
+  const auto nodes = matrix.endpoints();
+
+  // best[h][n] = cheapest way to have the file at n using exactly <= h legs
+  // beyond the first. We expand legs one at a time; each added leg costs the
+  // matrix time plus the hand-off overhead at the relaying node.
+  std::map<std::string, Label> current;  // after 1 leg from src
+  for (const auto& node : nodes) {
+    if (node == src) continue;
+    if (matrix.has(src, node)) {
+      current[node] = Label{matrix.get(src, node), {}};
+    }
+  }
+
+  std::vector<MultiHopRoute> frontier;
+  auto record = [&](const std::map<std::string, Label>& layer) {
+    auto it = layer.find(dst);
+    if (it == layer.end() ||
+        it->second.time == std::numeric_limits<double>::infinity()) {
+      return;
+    }
+    MultiHopRoute route;
+    route.waypoints = it->second.path;
+    route.total_s = it->second.time;
+    frontier.push_back(std::move(route));
+  };
+  record(current);
+
+  for (int hop = 1; hop <= options.max_extra_hops; ++hop) {
+    std::map<std::string, Label> next = current;
+    for (const auto& [mid, label] : current) {
+      if (mid == dst) continue;  // no point relaying through the destination
+      for (const auto& node : nodes) {
+        if (node == src || node == mid) continue;
+        if (!matrix.has(mid, node)) continue;
+        const double cost =
+            label.time + options.per_hop_overhead_s + matrix.get(mid, node);
+        auto& slot = next[node];
+        if (cost < slot.time) {
+          slot.time = cost;
+          slot.path = label.path;
+          slot.path.push_back(mid);
+        }
+      }
+    }
+    current = std::move(next);
+    record(current);
+  }
+
+  // Deduplicate: keep, per hop count, only entries that improve on fewer
+  // hops (the frontier is the minimum envelope).
+  std::vector<MultiHopRoute> envelope;
+  for (auto& route : frontier) {
+    if (envelope.empty() || route.total_s < envelope.back().total_s ||
+        route.hops() > envelope.back().hops()) {
+      envelope.push_back(std::move(route));
+    }
+  }
+  return envelope;
+}
+
+util::Result<MultiHopRoute> best_multihop_route(const TimeMatrix& matrix,
+                                                const std::string& src,
+                                                const std::string& dst,
+                                                MultiHopOptions options) {
+  const auto frontier = multihop_frontier(matrix, src, dst, options);
+  if (frontier.empty()) {
+    return util::Error::make("no measured chain connects " + src + " to " +
+                             dst);
+  }
+  const auto best = std::min_element(
+      frontier.begin(), frontier.end(),
+      [](const MultiHopRoute& a, const MultiHopRoute& b) {
+        if (a.total_s != b.total_s) return a.total_s < b.total_s;
+        return a.hops() < b.hops();  // fewer hops on a tie
+      });
+  return *best;
+}
+
+}  // namespace droute::core

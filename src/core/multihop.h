@@ -1,0 +1,48 @@
+// Multi-hop detour search — the paper restricts itself to "one extra hop"
+// (Sec III-A); this extension finds the best k-hop relay chain over a
+// measured transfer-time matrix.
+//
+// Store-and-forward semantics: a chain src -> w1 -> ... -> wk -> dst costs
+// the sum of leg times plus a per-hop hand-off overhead (session setup,
+// DTN storage latency). The search is exact: dynamic programming over
+// (hop count, endpoint), which is Bellman-Ford bounded to max_hops edges —
+// no negative cycles exist since all times are positive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tiv.h"
+#include "util/result.h"
+
+namespace droute::core {
+
+struct MultiHopRoute {
+  std::vector<std::string> waypoints;  // intermediate nodes only
+  double total_s = 0.0;                // includes per-hop overheads
+
+  int hops() const { return static_cast<int>(waypoints.size()); }
+};
+
+struct MultiHopOptions {
+  int max_extra_hops = 2;       // k: number of intermediates allowed
+  double per_hop_overhead_s = 0.0;
+};
+
+/// Cheapest route from src to dst using at most `max_extra_hops`
+/// intermediates from the matrix. Fails when no measured chain connects
+/// src to dst. The direct route (zero waypoints) competes on equal terms.
+util::Result<MultiHopRoute> best_multihop_route(const TimeMatrix& matrix,
+                                                const std::string& src,
+                                                const std::string& dst,
+                                                MultiHopOptions options = {});
+
+/// Best route per hop budget 0..max_extra_hops — the marginal-benefit curve
+/// (does the second hop ever pay for its overhead?).
+std::vector<MultiHopRoute> multihop_frontier(const TimeMatrix& matrix,
+                                             const std::string& src,
+                                             const std::string& dst,
+                                             MultiHopOptions options = {});
+
+}  // namespace droute::core

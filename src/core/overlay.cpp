@@ -1,0 +1,44 @@
+#include "core/overlay.h"
+
+#include <sstream>
+
+namespace droute::core {
+
+void OverlayTable::install(OverlayEntry entry) {
+  const auto key = std::make_pair(entry.client, entry.provider);
+  table_[key] = std::move(entry);
+}
+
+std::optional<OverlayEntry> OverlayTable::lookup(
+    const std::string& client, const std::string& provider) const {
+  const auto it = table_.find({client, provider});
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool OverlayTable::evict(const std::string& client,
+                         const std::string& provider) {
+  return table_.erase({client, provider}) > 0;
+}
+
+std::vector<OverlayEntry> OverlayTable::entries() const {
+  std::vector<OverlayEntry> out;
+  out.reserve(table_.size());
+  for (const auto& [key, entry] : table_) out.push_back(entry);
+  return out;
+}
+
+std::string OverlayTable::render() const {
+  std::ostringstream out;
+  for (const auto& [key, entry] : table_) {
+    out << entry.client << " -> " << entry.provider << " : "
+        << entry.route_key << " (expected "
+        << entry.expected_s << " s"
+        << (entry.confidence == Confidence::kClear ? ""
+                                                   : ", overlapping bars")
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace droute::core

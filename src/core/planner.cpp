@@ -1,0 +1,100 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/regression.h"
+
+namespace droute::core {
+
+DetourPlanner::DetourPlanner(Options options) : options_(options) {
+  DROUTE_CHECK(options_.small_probe_bytes > 0 &&
+                   options_.large_probe_bytes > options_.small_probe_bytes,
+               "probe sizes must be positive and increasing");
+  DROUTE_CHECK(options_.probes_per_size >= 1, "need at least one probe");
+}
+
+void DetourPlanner::add_candidate(const std::string& key,
+                                  measure::TransferFn fn, bool is_direct) {
+  DROUTE_CHECK(fn != nullptr, "null candidate TransferFn");
+  candidates_.push_back({key, std::move(fn), is_direct});
+}
+
+util::Result<PlannerReport> DetourPlanner::plan(
+    std::uint64_t target_bytes) const {
+  if (candidates_.empty()) {
+    return util::Error::make("DetourPlanner: no candidates registered");
+  }
+  const auto direct_count =
+      std::count_if(candidates_.begin(), candidates_.end(),
+                    [](const Candidate& c) { return c.is_direct; });
+  if (direct_count != 1) {
+    return util::Error::make(
+        "DetourPlanner: exactly one direct candidate required");
+  }
+
+  PlannerReport report;
+  std::vector<RouteStats> stats_for_advisor;
+
+  for (const Candidate& candidate : candidates_) {
+    // Probe both sizes `probes_per_size` times each, collecting
+    // (bytes, seconds) observations for the regression.
+    std::vector<double> xs, ys, large_times;
+    for (int probe = 0; probe < options_.probes_per_size; ++probe) {
+      for (bool large : {false, true}) {
+        const std::uint64_t bytes =
+            large ? options_.large_probe_bytes : options_.small_probe_bytes;
+        const std::uint64_t seed = measure::derive_seed(
+            options_.probe_seed, candidate.key, bytes, probe);
+        auto elapsed = candidate.fn(bytes, seed);
+        if (!elapsed.ok()) {
+          return util::Error::make("probe failed on " + candidate.key + ": " +
+                                   elapsed.error().message);
+        }
+        xs.push_back(static_cast<double>(bytes));
+        ys.push_back(elapsed.value());
+        if (large) large_times.push_back(elapsed.value());
+        report.probe_cost_s += elapsed.value();
+        report.probe_bytes += bytes;
+      }
+    }
+
+    // Affine fit by ordinary least squares over every probe observation.
+    const stats::LinearFit fit = stats::fit_linear(xs, ys);
+    const double slope_s_per_byte = std::max(1e-12, fit.slope);
+
+    RouteModel model;
+    model.key = candidate.key;
+    model.rate_bytes_per_s = 1.0 / slope_s_per_byte;
+    model.overhead_s = std::max(0.0, fit.intercept);
+    model.r_squared = fit.r_squared;
+    double residual = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      residual += std::abs(ys[i] - model.predict_s(
+                                       static_cast<std::uint64_t>(xs[i])));
+    }
+    model.residual = residual / static_cast<double>(xs.size());
+    report.models.push_back(model);
+
+    RouteStats rs;
+    rs.key = candidate.key;
+    rs.is_direct = candidate.is_direct;
+    rs.summary.count = xs.size();
+    rs.summary.mean = model.predict_s(target_bytes);
+    // Propagate probe dispersion as the prediction's uncertainty, scaled to
+    // the target size (larger payloads average out short-term noise less
+    // than proportionally; scaling by the time ratio is conservative).
+    const double probe_sd = stats::sample_stddev(large_times);
+    const double t_large = stats::mean(large_times);
+    const double scale =
+        t_large > 0.0 ? rs.summary.mean / t_large : 1.0;
+    rs.summary.stddev = probe_sd * scale;
+    stats_for_advisor.push_back(rs);
+  }
+
+  const RouteAdvisor advisor(options_.advisor);
+  report.decision = advisor.recommend(stats_for_advisor);
+  return report;
+}
+
+}  // namespace droute::core

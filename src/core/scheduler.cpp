@@ -1,0 +1,77 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "util/result.h"
+
+namespace droute::core {
+
+BatchScheduler::BatchScheduler(Options options, std::function<double()> now,
+                               Launcher launcher)
+    : options_(options), now_(std::move(now)), launcher_(std::move(launcher)) {
+  DROUTE_CHECK(options_.max_concurrent >= 1, "need concurrency >= 1");
+  DROUTE_CHECK(now_ != nullptr && launcher_ != nullptr,
+               "scheduler needs a clock and a launcher");
+}
+
+bool BatchScheduler::submit(TransferJob job) {
+  if (job.bytes == 0 || job.id.empty() || seen_ids_.contains(job.id)) {
+    return false;
+  }
+  seen_ids_[job.id] = true;
+  // Insert keeping the queue sorted: higher priority first, FIFO within a
+  // priority class (stable insertion point at the end of the class).
+  const auto pos = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const TransferJob& other) { return other.priority < job.priority; });
+  queue_.insert(pos, std::move(job));
+  if (active_) pump();
+  return true;
+}
+
+void BatchScheduler::start() {
+  active_ = true;
+  pump();
+}
+
+void BatchScheduler::pump() {
+  while (running_ < options_.max_concurrent && !queue_.empty()) {
+    TransferJob job = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    launch(std::move(job));
+  }
+}
+
+void BatchScheduler::launch(TransferJob job) {
+  ++running_;
+  JobOutcome outcome;
+  outcome.id = job.id;
+  outcome.route_key = "Direct";
+  if (overlay_ != nullptr) {
+    if (const auto entry = overlay_->lookup(job.client, job.provider)) {
+      outcome.route_key = entry->route_key;
+    }
+  }
+  outcome.started_at = now_();
+  if (!first_start_) first_start_ = outcome.started_at;
+
+  const std::string route = outcome.route_key;
+  launcher_(job, route,
+            [this, outcome](bool success, std::string error) mutable {
+              outcome.finished_at = now_();
+              outcome.success = success;
+              outcome.error = std::move(error);
+              last_finish_ = std::max(last_finish_, outcome.finished_at);
+              outcomes_.push_back(std::move(outcome));
+              --running_;
+              DROUTE_CHECK(running_ >= 0, "scheduler completion underflow");
+              if (active_) pump();
+            });
+}
+
+double BatchScheduler::makespan_s() const {
+  if (!first_start_ || outcomes_.empty()) return 0.0;
+  return last_finish_ - *first_start_;
+}
+
+}  // namespace droute::core

@@ -1,0 +1,60 @@
+#include "core/tiv.h"
+
+#include <algorithm>
+
+namespace droute::core {
+
+void TimeMatrix::set(const std::string& from, const std::string& to,
+                     double seconds) {
+  DROUTE_CHECK(seconds >= 0.0, "negative transfer time");
+  const auto key = std::make_pair(from, to);
+  if (!times_.contains(key)) {
+    if (std::find(order_.begin(), order_.end(), from) == order_.end()) {
+      order_.push_back(from);
+    }
+    if (std::find(order_.begin(), order_.end(), to) == order_.end()) {
+      order_.push_back(to);
+    }
+  }
+  times_[key] = seconds;
+}
+
+bool TimeMatrix::has(const std::string& from, const std::string& to) const {
+  return times_.contains({from, to});
+}
+
+double TimeMatrix::get(const std::string& from, const std::string& to) const {
+  const auto it = times_.find({from, to});
+  DROUTE_CHECK(it != times_.end(), "TimeMatrix::get on missing pair");
+  return it->second;
+}
+
+std::vector<std::string> TimeMatrix::endpoints() const { return order_; }
+
+std::vector<TivViolation> find_violations(const TimeMatrix& matrix,
+                                          double min_speedup,
+                                          double overhead_s) {
+  std::vector<TivViolation> out;
+  const auto nodes = matrix.endpoints();
+  for (const auto& src : nodes) {
+    for (const auto& dst : nodes) {
+      if (src == dst || !matrix.has(src, dst)) continue;
+      const double direct = matrix.get(src, dst);
+      for (const auto& via : nodes) {
+        if (via == src || via == dst) continue;
+        if (!matrix.has(src, via) || !matrix.has(via, dst)) continue;
+        const double detour =
+            matrix.get(src, via) + matrix.get(via, dst) + overhead_s;
+        if (detour <= 0.0) continue;
+        const double speedup = direct / detour;
+        if (speedup > min_speedup && detour < direct) {
+          out.push_back({src, via, dst, direct, detour, speedup});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace droute::core

@@ -1,0 +1,52 @@
+// Throughput Triangle-Inequality-Violation (TIV) detection.
+//
+// Prior TIV work (refs [20]-[22] of the paper) studies latency; the paper's
+// observation is that *bandwidth* TIVs exist too: the two-leg time
+// t(a,via) + t(via,b) can undercut the direct t(a,b). This detector
+// catalogues such violations from a measured transfer-time matrix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace droute::core {
+
+/// Measured transfer times (seconds) for one fixed payload size between
+/// labelled endpoints. Missing pairs are simply not candidates.
+class TimeMatrix {
+ public:
+  void set(const std::string& from, const std::string& to, double seconds);
+  bool has(const std::string& from, const std::string& to) const;
+  double get(const std::string& from, const std::string& to) const;
+  std::vector<std::string> endpoints() const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, double> times_;
+  std::vector<std::string> order_;
+};
+
+struct TivViolation {
+  std::string src;
+  std::string via;
+  std::string dst;
+  double direct_s = 0.0;
+  double detour_s = 0.0;            // leg1 + leg2 (store-and-forward)
+  double speedup = 0.0;             // direct_s / detour_s, > 1 by definition
+
+  bool operator<(const TivViolation& other) const {
+    return speedup > other.speedup;  // strongest violation first
+  }
+};
+
+/// All (src, via, dst) triples violating the triangle inequality by more
+/// than `min_speedup` (1.0 = any violation). `overhead_s` is added to the
+/// detour time to model store-and-forward hand-off costs.
+std::vector<TivViolation> find_violations(const TimeMatrix& matrix,
+                                          double min_speedup = 1.0,
+                                          double overhead_s = 0.0);
+
+}  // namespace droute::core

@@ -1,0 +1,46 @@
+#include "geo/geo.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace droute::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+double deg2rad(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double haversine_km(const Coord& a, const Coord& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_s(const Coord& a, const Coord& b, double inflation) {
+  return haversine_km(a, b) * inflation / kFiberKmPerSec;
+}
+
+double detour_ratio(const Coord& a, const Coord& via, const Coord& b) {
+  const double direct = haversine_km(a, b);
+  if (direct <= 1e-9) return 1.0;
+  return (haversine_km(a, via) + haversine_km(via, b)) / direct;
+}
+
+double backtrack_km(const Coord& a, const Coord& via, const Coord& b) {
+  return haversine_km(a, via) + haversine_km(via, b) - haversine_km(a, b);
+}
+
+std::string to_string(const Coord& coord) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f%c %.2f%c",
+                std::fabs(coord.lat_deg), coord.lat_deg >= 0 ? 'N' : 'S',
+                std::fabs(coord.lon_deg), coord.lon_deg >= 0 ? 'E' : 'W');
+  return buf;
+}
+
+}  // namespace droute::geo

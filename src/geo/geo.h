@@ -1,0 +1,43 @@
+// Geographic primitives: WGS-84-ish coordinates, great-circle distance,
+// fiber propagation delay, and detour/backtracking metrics.
+//
+// These back Fig 3 (the location map), the "geographic detour" analysis of
+// Sec III-A, and the propagation-delay component of simulated links.
+#pragma once
+
+#include <string>
+
+namespace droute::geo {
+
+/// Latitude/longitude in degrees. North and east positive.
+struct Coord {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Mean Earth radius (km), spherical model.
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Speed of light in fiber, km/s (refractive index ~1.47).
+inline constexpr double kFiberKmPerSec = 204000.0;
+
+/// Great-circle distance between two coordinates, in kilometres.
+double haversine_km(const Coord& a, const Coord& b);
+
+/// One-way propagation delay (seconds) along a great-circle fiber run with a
+/// route-inflation factor (real fiber never follows the geodesic; 1.6 is a
+/// conventional inflation for terrestrial paths).
+double propagation_delay_s(const Coord& a, const Coord& b,
+                           double inflation = 1.6);
+
+/// Detour ratio of path a->via->b relative to the geodesic a->b.
+/// 1.0 means no geographic detour; UBC->UAlberta->MountainView is ~1.9.
+double detour_ratio(const Coord& a, const Coord& via, const Coord& b);
+
+/// Extra kilometres travelled by a->via->b compared with a->b.
+double backtrack_km(const Coord& a, const Coord& via, const Coord& b);
+
+/// Compact "49.26N 123.25W" rendering for tables and maps.
+std::string to_string(const Coord& coord);
+
+}  // namespace droute::geo

@@ -1,0 +1,112 @@
+#include "geo/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace droute::geo {
+
+util::Result<Ipv4> Ipv4::parse(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int matched =
+      std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return util::Error::make("invalid IPv4 address: " + dotted);
+  }
+  return Ipv4{(a << 24) | (b << 16) | (c << 8) | d};
+}
+
+std::string Ipv4::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+void Registry::add(Location location) {
+  const std::string name = location.name;
+  auto [it, inserted] = by_name_.insert_or_assign(name, std::move(location));
+  (void)it;
+  if (inserted) insertion_order_.push_back(name);
+}
+
+util::Status Registry::bind_ip(const Ipv4& ip, const std::string& name) {
+  if (!by_name_.contains(name)) {
+    return util::Status::failure("bind_ip: unknown location name: " + name);
+  }
+  ip_to_name_[ip.value] = name;
+  return util::Status::success();
+}
+
+std::optional<Location> Registry::lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Location> Registry::lookup_ip(const Ipv4& ip) const {
+  auto it = ip_to_name_.find(ip.value);
+  if (it == ip_to_name_.end()) return std::nullopt;
+  return lookup(it->second);
+}
+
+std::vector<Location> Registry::all() const {
+  std::vector<Location> out;
+  out.reserve(insertion_order_.size());
+  for (const auto& name : insertion_order_) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::string Registry::render_map(int width, int height) const {
+  // Plot over the bounding box of registered points with a small margin.
+  const auto locations = all();
+  if (locations.empty()) return "(empty registry)\n";
+
+  double min_lat = 1e9, max_lat = -1e9, min_lon = 1e9, max_lon = -1e9;
+  for (const auto& loc : locations) {
+    min_lat = std::min(min_lat, loc.coord.lat_deg);
+    max_lat = std::max(max_lat, loc.coord.lat_deg);
+    min_lon = std::min(min_lon, loc.coord.lon_deg);
+    max_lon = std::max(max_lon, loc.coord.lon_deg);
+  }
+  const double lat_pad = std::max(1.0, (max_lat - min_lat) * 0.1);
+  const double lon_pad = std::max(1.0, (max_lon - min_lon) * 0.1);
+  min_lat -= lat_pad; max_lat += lat_pad;
+  min_lon -= lon_pad; max_lon += lon_pad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  std::vector<std::pair<char, const Location*>> legend;
+
+  char next_marker = 'A';
+  for (const auto& loc : locations) {
+    if (loc.kind == "router") continue;  // keep the map readable
+    const int col = static_cast<int>((loc.coord.lon_deg - min_lon) /
+                                     (max_lon - min_lon) * (width - 1));
+    const int row = static_cast<int>((max_lat - loc.coord.lat_deg) /
+                                     (max_lat - min_lat) * (height - 1));
+    if (row >= 0 && row < height && col >= 0 && col < width) {
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          next_marker;
+    }
+    legend.emplace_back(next_marker, &loc);
+    if (next_marker == 'Z') next_marker = 'a';
+    else ++next_marker;
+  }
+
+  std::ostringstream out;
+  out << '+' << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  for (const auto& row : grid) out << '|' << row << "|\n";
+  out << '+' << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  for (const auto& [marker, loc] : legend) {
+    out << "  " << marker << " = " << loc->name << " (" << loc->city << ", "
+        << to_string(loc->coord) << ") [" << loc->kind << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace droute::geo

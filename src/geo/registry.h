@@ -1,0 +1,59 @@
+// Geolocation registry: the stand-in for the paper's "IP Location Finder"
+// service [7]. Maps names and IPv4 addresses to coordinates and descriptions,
+// and renders the Fig 3 location map as ASCII.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/result.h"
+
+namespace droute::geo {
+
+/// One located entity (host, router, or POP).
+struct Location {
+  std::string name;      // e.g. "vncv1rtr2.canarie.ca"
+  std::string city;      // e.g. "Vancouver, BC"
+  Coord coord;
+  std::string kind;      // "client" | "intermediate" | "cloud" | "router"
+};
+
+/// IPv4 in host byte order with dotted-quad parsing/printing.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  static util::Result<Ipv4> parse(const std::string& dotted);
+  std::string to_string() const;
+  bool operator==(const Ipv4&) const = default;
+};
+
+class Registry {
+ public:
+  /// Registers a location; a later registration with the same name replaces
+  /// the earlier one (mirrors updating a geolocation DB).
+  void add(Location location);
+
+  /// Binds an IP address to a registered name.
+  util::Status bind_ip(const Ipv4& ip, const std::string& name);
+
+  std::optional<Location> lookup(const std::string& name) const;
+  std::optional<Location> lookup_ip(const Ipv4& ip) const;
+
+  std::vector<Location> all() const;
+  std::size_t size() const { return by_name_.size(); }
+
+  /// Renders an ASCII map of North America with registered entities plotted
+  /// by lat/lon (the Fig 3 reproduction). Width/height in characters.
+  std::string render_map(int width = 96, int height = 28) const;
+
+ private:
+  std::unordered_map<std::string, Location> by_name_;
+  std::unordered_map<std::uint32_t, std::string> ip_to_name_;
+  std::vector<std::string> insertion_order_;
+};
+
+}  // namespace droute::geo

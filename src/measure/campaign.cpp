@@ -1,0 +1,77 @@
+#include "measure/campaign.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace droute::measure {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, const std::string& key,
+                          std::uint64_t bytes, int run_index) {
+  // FNV-1a over the key, then SplitMix to decorrelate nearby inputs.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  util::SplitMix64 mix(base_seed ^ h ^ (bytes * 0x9e3779b97f4a7c15ull) ^
+                       (static_cast<std::uint64_t>(run_index) << 32));
+  return mix.next();
+}
+
+void Campaign::add_route(const std::string& key, TransferFn fn) {
+  DROUTE_CHECK(fn != nullptr, "null TransferFn");
+  const auto [it, inserted] = routes_.emplace(key, std::move(fn));
+  (void)it;
+  DROUTE_CHECK(inserted, "duplicate route key: " + key);
+  order_.push_back(key);
+}
+
+Measurement Campaign::measure(const std::string& key, std::uint64_t bytes,
+                              const Protocol& protocol) const {
+  const auto it = routes_.find(key);
+  DROUTE_CHECK(it != routes_.end(), "unknown route key: " + key);
+  Measurement m;
+  m.runs.reserve(static_cast<std::size_t>(protocol.total_runs));
+  for (int run = 0; run < protocol.total_runs; ++run) {
+    const std::uint64_t seed = derive_seed(base_seed_, key, bytes, run);
+    auto elapsed = it->second(bytes, seed);
+    if (elapsed.ok()) {
+      m.runs.push_back(elapsed.value());
+    } else {
+      ++m.failures;
+      DROUTE_LOG(kWarn) << "run failed for " << key << " @" << bytes << "B: "
+                        << elapsed.error().message;
+    }
+  }
+  m.kept = stats::keep_last_summary(
+      m.runs, static_cast<std::size_t>(protocol.keep_last));
+  return m;
+}
+
+Campaign::Grid Campaign::run_grid(const std::vector<std::uint64_t>& sizes,
+                                  const Protocol& protocol,
+                                  util::ThreadPool* pool) const {
+  // Materialize the cell list first so indices are stable across threads.
+  std::vector<std::pair<std::string, std::uint64_t>> cells;
+  for (const std::string& key : order_) {
+    for (std::uint64_t bytes : sizes) cells.emplace_back(key, bytes);
+  }
+  std::vector<Measurement> results(cells.size());
+  auto run_cell = [&](std::size_t i) {
+    results[i] = measure(cells[i].first, cells[i].second, protocol);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(cells.size(), run_cell);
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+  }
+  Grid grid;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    grid.emplace(cells[i], std::move(results[i]));
+  }
+  return grid;
+}
+
+}  // namespace droute::measure

@@ -1,0 +1,73 @@
+// Measurement campaigns with the paper's exact protocol (Sec II):
+// "For each of the measurements, we take the mean of the last five runs
+//  among a total of seven runs. One standard deviation has been shown as
+//  the error-bar."
+//
+// A campaign is a grid of (route, file-size) cells. Each cell is measured by
+// invoking a TransferFn `total_runs` times with distinct derived seeds; every
+// invocation is expected to build a fresh simulator world, so runs are
+// independent and the whole grid can execute in parallel on a thread pool
+// without shared state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace droute::measure {
+
+struct Protocol {
+  int total_runs = 7;
+  int keep_last = 5;
+};
+
+/// One transfer attempt: returns elapsed seconds for `bytes` under
+/// `run_seed`, or an error (unroutable, server rejection, ...).
+using TransferFn =
+    std::function<util::Result<double>(std::uint64_t bytes,
+                                       std::uint64_t run_seed)>;
+
+struct Measurement {
+  std::vector<double> runs;   // every run, in execution order
+  stats::Summary kept;        // paper statistic over the last keep_last runs
+  int failures = 0;           // runs that errored (excluded from stats)
+};
+
+/// Deterministic per-run seed: depends on campaign seed, route key, size and
+/// run index only — stable across platforms and execution order.
+std::uint64_t derive_seed(std::uint64_t base_seed, const std::string& key,
+                          std::uint64_t bytes, int run_index);
+
+class Campaign {
+ public:
+  explicit Campaign(std::uint64_t base_seed = 0x5eedu) : base_seed_(base_seed) {}
+
+  /// Registers a route under a unique key (e.g. "UBC->GDrive direct").
+  void add_route(const std::string& key, TransferFn fn);
+
+  const std::vector<std::string>& route_keys() const { return order_; }
+
+  /// Measures a single (route, size) cell sequentially.
+  Measurement measure(const std::string& key, std::uint64_t bytes,
+                      const Protocol& protocol = {}) const;
+
+  /// Measures the full grid; runs execute concurrently on `pool` (pass
+  /// nullptr for sequential). Results keyed by (route key, bytes).
+  using Grid = std::map<std::pair<std::string, std::uint64_t>, Measurement>;
+  Grid run_grid(const std::vector<std::uint64_t>& sizes,
+                const Protocol& protocol = {},
+                util::ThreadPool* pool = nullptr) const;
+
+ private:
+  std::uint64_t base_seed_;
+  std::map<std::string, TransferFn> routes_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace droute::measure

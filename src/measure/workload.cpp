@@ -1,0 +1,44 @@
+#include "measure/workload.h"
+
+#include <algorithm>
+
+#include "util/result.h"
+
+namespace droute::measure {
+
+std::vector<WorkloadItem> generate_workload(util::Rng& rng,
+                                            const WorkloadProfile& profile,
+                                            double horizon_s) {
+  DROUTE_CHECK(profile.mean_session_interarrival_s > 0 &&
+                   profile.mean_files_per_session >= 1.0 &&
+                   profile.min_bytes > 0 &&
+                   profile.max_bytes >= profile.min_bytes,
+               "invalid workload profile");
+  std::vector<WorkloadItem> items;
+  double session_at = 0.0;
+  for (;;) {
+    session_at += rng.exponential(profile.mean_session_interarrival_s);
+    if (session_at >= horizon_s) break;
+    // Geometric number of files with the requested mean: P(stop) = 1/mean.
+    const double stop_p = 1.0 / profile.mean_files_per_session;
+    double file_at = session_at;
+    do {
+      WorkloadItem item;
+      item.at_s = file_at;
+      const double mb = rng.lognormal_mean_cv(profile.file_size_mean_mb,
+                                              profile.file_size_cv);
+      item.bytes = std::clamp<std::uint64_t>(
+          static_cast<std::uint64_t>(mb * 1e6), profile.min_bytes,
+          profile.max_bytes);
+      if (item.at_s < horizon_s) items.push_back(item);
+      file_at += rng.exponential(profile.intra_session_gap_s);
+    } while (!rng.chance(stop_p));
+  }
+  std::sort(items.begin(), items.end(),
+            [](const WorkloadItem& a, const WorkloadItem& b) {
+              return a.at_s < b.at_s;
+            });
+  return items;
+}
+
+}  // namespace droute::measure

@@ -1,0 +1,48 @@
+#include "net/cross_traffic.h"
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+#include "util/logging.h"
+
+namespace droute::net {
+
+CrossTrafficSource::CrossTrafficSource(Fabric* fabric, NodeId src, NodeId dst,
+                                       CrossTrafficProfile profile,
+                                       util::Rng rng)
+    : fabric_(fabric), src_(src), dst_(dst), profile_(profile), rng_(rng) {}
+
+void CrossTrafficSource::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void CrossTrafficSource::stop() { running_ = false; }
+
+void CrossTrafficSource::schedule_next() {
+  if (!running_) return;
+  const double gap = rng_.exponential(profile_.mean_interarrival_s);
+  fabric_->simulator()->schedule_in(gap, [this] {
+    if (!running_) return;
+    const auto size = static_cast<std::uint64_t>(rng_.pareto(
+        profile_.pareto_alpha, static_cast<double>(profile_.min_bytes),
+        static_cast<double>(profile_.max_bytes)));
+    FlowOptions options;
+    options.charge_slow_start = true;
+    options.app_cap_mbps = profile_.per_flow_cap_mbps;
+    options.label = "xtraffic";
+    auto flow = fabric_->start_flow(
+        src_, dst_, std::max<std::uint64_t>(1, size),
+        [this](const FlowStats&) { ++flows_completed_; }, options);
+    if (flow.ok()) {
+      ++flows_started_;
+    } else {
+      DROUTE_LOG(kDebug) << "cross-traffic flow rejected: "
+                         << flow.error().message;
+    }
+    schedule_next();
+  });
+}
+
+}  // namespace droute::net

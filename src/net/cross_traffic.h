@@ -1,0 +1,54 @@
+// Background cross-traffic generator.
+//
+// Produces Poisson arrivals of heavy-tailed (bounded-Pareto) flows between a
+// fixed node pair. Cross traffic shares links with foreground transfers via
+// the fabric's max-min allocator, which is what creates the run-to-run
+// variance and file-size-dependent route crossovers of Figs 8/9 (Purdue).
+// All randomness comes from a seeded Rng, so campaigns stay reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fabric.h"
+#include "util/rng.h"
+
+namespace droute::net {
+
+struct CrossTrafficProfile {
+  double mean_interarrival_s = 2.0;
+  double pareto_alpha = 1.3;           // heavy tail
+  std::uint64_t min_bytes = 256 * 1024;
+  std::uint64_t max_bytes = 64ull * 1024 * 1024;
+  /// Per-flow application cap; keeps a single elephant from starving
+  /// everything (mirrors real background traffic mixes). 0 = uncapped.
+  double per_flow_cap_mbps = 0.0;
+};
+
+class CrossTrafficSource {
+ public:
+  CrossTrafficSource(Fabric* fabric, NodeId src, NodeId dst,
+                     CrossTrafficProfile profile, util::Rng rng);
+
+  /// Begins generating arrivals (idempotent).
+  void start();
+
+  /// Stops generating new arrivals; in-flight flows drain naturally.
+  void stop();
+
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_completed() const { return flows_completed_; }
+
+ private:
+  void schedule_next();
+
+  Fabric* fabric_;
+  NodeId src_;
+  NodeId dst_;
+  CrossTrafficProfile profile_;
+  util::Rng rng_;
+  bool running_ = false;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+};
+
+}  // namespace droute::net

@@ -1,0 +1,317 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace droute::net {
+
+namespace {
+// Completion tolerance: half a byte absorbs fluid-model rounding.
+constexpr double kByteEps = 0.5;
+constexpr double kRateEps = 1e-6;  // bytes/sec
+
+// A flow counts as finished once its residue would drain within a
+// nanosecond: scheduling an event that close to `now` can round to exactly
+// `now` in double precision, which would otherwise livelock the event loop
+// (time stops advancing while the residue never shrinks).
+bool drained(double remaining_bytes, double rate_bps) {
+  return remaining_bytes <= kByteEps + rate_bps * 1e-9;
+}
+}  // namespace
+
+Fabric::Fabric(sim::Simulator* simulator, Topology* topo, RouteTable* routes)
+    : simulator_(simulator), topo_(topo), routes_(routes) {
+  DROUTE_CHECK(simulator_ && topo_ && routes_, "Fabric: null dependency");
+}
+
+util::Result<double> Fabric::rtt_s(NodeId a, NodeId b) const {
+  auto forward = routes_->route(a, b);
+  if (!forward.ok()) return util::Error{forward.error()};
+  auto back = routes_->route(b, a);
+  if (!back.ok()) return util::Error{back.error()};
+  return routes_->one_way_delay_s(forward.value()) +
+         routes_->one_way_delay_s(back.value()) + base_rtt_s_;
+}
+
+util::Result<FlowId> Fabric::start_flow(NodeId src, NodeId dst,
+                                        std::uint64_t bytes,
+                                        CompletionFn on_complete,
+                                        FlowOptions options) {
+  if (bytes == 0) return util::Error::make("start_flow: zero-byte flow");
+  auto route = routes_->route(src, dst);
+  if (!route.ok()) return util::Error{route.error()};
+  auto rtt = rtt_s(src, dst);
+  if (!rtt.ok()) return util::Error{rtt.error()};
+
+  advance_to_now();
+
+  const double loss = routes_->path_loss(route.value());
+  const double policer = routes_->min_policer_mbps(route.value());
+  const double middlebox = routes_->min_middlebox_mbps(route.value());
+  double cap_mbps = flow_cap_mbps(rtt.value(), loss, policer, middlebox,
+                                  options.tcp);
+  if (options.app_cap_mbps > 0.0) {
+    cap_mbps = std::min(cap_mbps, options.app_cap_mbps);
+  }
+  // A flow can never exceed its narrowest link even alone.
+  cap_mbps = std::min(cap_mbps,
+                      routes_->bottleneck_capacity_mbps(route.value()));
+  DROUTE_CHECK(cap_mbps > 0.0, "flow cap must be positive");
+
+  const FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.stats.id = id;
+  flow.stats.src = src;
+  flow.stats.dst = dst;
+  flow.stats.bytes = bytes;
+  flow.stats.start_time = simulator_->now();
+  flow.stats.rtt_s = rtt.value();
+  flow.stats.cap_mbps = cap_mbps;
+  flow.stats.route = std::move(route).value();
+  flow.on_complete = std::move(on_complete);
+  flow.remaining_bytes = static_cast<double>(bytes);
+  flow.cap_bps = util::mbps_to_bytes_per_sec(cap_mbps);
+
+  const double ss_delay =
+      options.charge_slow_start
+          ? slow_start_delay_s(rtt.value(), cap_mbps, options.tcp)
+          : 0.0;
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  DROUTE_CHECK(inserted, "duplicate flow id");
+  if (ss_delay > 0.0) {
+    it->second.activation_event = simulator_->schedule_in(ss_delay, [this, id] {
+      advance_to_now();
+      auto fit = flows_.find(id);
+      if (fit == flows_.end()) return;  // aborted during slow start
+      fit->second.activated = true;
+      reallocate_and_reschedule();
+    });
+  } else {
+    it->second.activated = true;
+  }
+  reallocate_and_reschedule();
+  return id;
+}
+
+void Fabric::abort_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_to_now();
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  if (flow.activation_event.valid()) simulator_->cancel(flow.activation_event);
+  reallocate_and_reschedule();
+  finish(std::move(flow), FlowOutcome::kAborted);
+}
+
+void Fabric::fail_link(LinkId link) {
+  advance_to_now();
+  const auto status = topo_->set_link_enabled(link, false);
+  DROUTE_CHECK(status.ok(), "fail_link: unknown link");
+  routes_->invalidate();
+  std::vector<FlowId> victims;
+  for (const auto& [id, flow] : flows_) {
+    const auto& links = flow.stats.route.links;
+    if (std::find(links.begin(), links.end(), link) != links.end()) {
+      victims.push_back(id);
+    }
+  }
+  std::vector<Flow> failed;
+  failed.reserve(victims.size());
+  for (FlowId id : victims) {
+    auto it = flows_.find(id);
+    Flow flow = std::move(it->second);
+    flows_.erase(it);
+    if (flow.activation_event.valid()) {
+      simulator_->cancel(flow.activation_event);
+    }
+    failed.push_back(std::move(flow));
+  }
+  reallocate_and_reschedule();
+  for (auto& flow : failed) finish(std::move(flow), FlowOutcome::kLinkFailed);
+}
+
+void Fabric::restore_link(LinkId link) {
+  advance_to_now();
+  const auto status = topo_->set_link_enabled(link, true);
+  DROUTE_CHECK(status.ok(), "restore_link: unknown link");
+  routes_->invalidate();
+  reallocate_and_reschedule();
+}
+
+double Fabric::current_rate_mbps(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  return util::bytes_per_sec_to_mbps(it->second.rate_bps);
+}
+
+double Fabric::moved_bytes() const {
+  double moved = finished_moved_bytes_;
+  for (const auto& [id, flow] : flows_) {
+    moved += static_cast<double>(flow.stats.bytes) - flow.remaining_bytes;
+  }
+  return moved;
+}
+
+std::vector<Fabric::LinkLoad> Fabric::link_loads() const {
+  std::map<LinkId, LinkLoad> loads;
+  for (const auto& [id, flow] : flows_) {
+    if (!flow.activated) continue;
+    for (LinkId lid : flow.stats.route.links) {
+      LinkLoad& load = loads[lid];
+      load.link = lid;
+      load.capacity_mbps = topo_->link(lid).capacity_mbps;
+      load.allocated_mbps += util::bytes_per_sec_to_mbps(flow.rate_bps);
+      ++load.flows;
+    }
+  }
+  std::vector<LinkLoad> out;
+  out.reserve(loads.size());
+  for (const auto& [lid, load] : loads) out.push_back(load);
+  return out;
+}
+
+void Fabric::advance_to_now() {
+  const sim::Time now = simulator_->now();
+  const double dt = now - last_advance_;
+  DROUTE_CHECK(dt >= -1e-12, "fabric clock went backwards");
+  if (dt > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      flow.remaining_bytes =
+          std::max(0.0, flow.remaining_bytes - flow.rate_bps * dt);
+    }
+  }
+  last_advance_ = now;
+}
+
+void Fabric::reallocate_and_reschedule() {
+  // --- Progressive filling (water-filling) with per-flow caps. ---
+  // Invariants on exit (checked by tests): no link over capacity, no flow
+  // over its cap, and every unfrozen flow is blocked by a saturated link.
+  struct LinkState {
+    double remaining_bps;
+    int active_flows = 0;
+  };
+  std::unordered_map<LinkId, LinkState> links;
+  std::vector<Flow*> unfrozen;
+  for (auto& [id, flow] : flows_) {
+    flow.rate_bps = 0.0;
+    if (!flow.activated) continue;
+    unfrozen.push_back(&flow);
+    for (LinkId lid : flow.stats.route.links) {
+      auto [it, inserted] = links.try_emplace(
+          lid,
+          LinkState{util::mbps_to_bytes_per_sec(
+                        topo_->link(lid).capacity_mbps),
+                    0});
+      ++it->second.active_flows;
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (const Flow* flow : unfrozen) {
+      delta = std::min(delta, flow->cap_bps - flow->rate_bps);
+    }
+    for (const auto& [lid, state] : links) {
+      if (state.active_flows > 0) {
+        delta = std::min(delta, state.remaining_bps / state.active_flows);
+      }
+    }
+    delta = std::max(delta, 0.0);
+
+    for (Flow* flow : unfrozen) flow->rate_bps += delta;
+    for (auto& [lid, state] : links) {
+      state.remaining_bps -= delta * state.active_flows;
+    }
+
+    // Freeze flows at their cap or on a saturated link.
+    std::vector<Flow*> still;
+    still.reserve(unfrozen.size());
+    for (Flow* flow : unfrozen) {
+      bool frozen = flow->rate_bps >= flow->cap_bps - kRateEps;
+      if (!frozen) {
+        for (LinkId lid : flow->stats.route.links) {
+          if (links.at(lid).remaining_bps <= kRateEps) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (frozen) {
+        for (LinkId lid : flow->stats.route.links) {
+          --links.at(lid).active_flows;
+        }
+      } else {
+        still.push_back(flow);
+      }
+    }
+    DROUTE_CHECK(still.size() < unfrozen.size() || delta > 0.0,
+                 "allocation failed to make progress");
+    unfrozen = std::move(still);
+  }
+
+  // --- Schedule the next completion. ---
+  if (completion_event_.valid()) {
+    simulator_->cancel(completion_event_);
+    completion_event_ = sim::EventId{};
+  }
+  double next_dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate_bps > kRateEps) {
+      next_dt = std::min(next_dt, std::max(0.0, flow.remaining_bytes - kByteEps) /
+                                      flow.rate_bps);
+    } else if (flow.activated && drained(flow.remaining_bytes, 0.0)) {
+      next_dt = 0.0;  // already done, just needs the completion event
+    }
+  }
+  if (std::isfinite(next_dt)) {
+    completion_event_ =
+        simulator_->schedule_in(next_dt, [this] { on_completion_event(); });
+  }
+}
+
+void Fabric::on_completion_event() {
+  completion_event_ = sim::EventId{};
+  advance_to_now();
+  std::vector<Flow> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.activated &&
+        drained(it->second.remaining_bytes, it->second.rate_bps)) {
+      done.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reallocate_and_reschedule();
+  for (auto& flow : done) {
+    delivered_bytes_ += flow.stats.bytes;
+    finish(std::move(flow), FlowOutcome::kCompleted);
+  }
+}
+
+void Fabric::finish(Flow flow, FlowOutcome outcome) {
+  flow.stats.end_time = simulator_->now();
+  flow.stats.outcome = outcome;
+  finished_moved_bytes_ +=
+      static_cast<double>(flow.stats.bytes) - flow.remaining_bytes;
+  if (outcome == FlowOutcome::kCompleted) {
+    // A completed flow moved all of its payload by definition; reconcile the
+    // sub-byte fluid residue into the moved-bytes ledger.
+    finished_moved_bytes_ += flow.remaining_bytes;
+  }
+  DROUTE_LOG(kDebug) << "flow " << flow.stats.id << " " << flow.stats.bytes
+                     << "B " << topo_->node(flow.stats.src).name << "->"
+                     << topo_->node(flow.stats.dst).name << " outcome="
+                     << static_cast<int>(outcome) << " t="
+                     << flow.stats.duration_s();
+  if (flow.on_complete) flow.on_complete(flow.stats);
+}
+
+}  // namespace droute::net

@@ -1,0 +1,167 @@
+// Flow-level network fabric: fluid flows over the topology with max-min fair
+// bandwidth sharing under per-flow TCP caps.
+//
+// Model. Each flow follows a fixed route (computed at start). At any instant
+// every active flow has a rate; rates are the max-min fair allocation given
+//   * each link's shared capacity,
+//   * each flow's individual cap (TCP window/loss limit, policers,
+//     middleboxes — see tcp_model.h).
+// The allocation is recomputed at every flow arrival, departure, activation
+// and failure (event-driven fluid simulation); between events rates are
+// constant, so completions are scheduled exactly.
+//
+// Slow start is modelled as an activation delay during which the flow
+// consumes no bandwidth (conservative for short flows, negligible for bulk).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/routing.h"
+#include "net/tcp_model.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace droute::net {
+
+using FlowId = std::uint64_t;
+
+enum class FlowOutcome { kCompleted, kAborted, kLinkFailed };
+
+struct FlowStats {
+  FlowId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t bytes = 0;
+  sim::Time start_time = 0.0;
+  sim::Time end_time = 0.0;
+  FlowOutcome outcome = FlowOutcome::kCompleted;
+  double rtt_s = 0.0;       // model RTT used for the cap
+  double cap_mbps = 0.0;    // per-flow ceiling applied
+  Route route;
+
+  double duration_s() const { return end_time - start_time; }
+  double achieved_mbps() const {
+    return duration_s() > 0.0 ? static_cast<double>(bytes) * 8e-6 / duration_s()
+                              : 0.0;
+  }
+};
+
+struct FlowOptions {
+  TcpParams tcp;
+  /// Charge the slow-start ramp delay before the flow carries bytes.
+  /// Engines reusing a warm connection (later chunks) disable this.
+  bool charge_slow_start = true;
+  /// Extra per-flow cap in Mbps on top of the TCP model (0 = none) —
+  /// e.g. an application-level throttle.
+  double app_cap_mbps = 0.0;
+  /// Label for debugging and cross-traffic identification.
+  std::string label;
+};
+
+class Fabric {
+ public:
+  using CompletionFn = std::function<void(const FlowStats&)>;
+
+  Fabric(sim::Simulator* simulator, Topology* topo, RouteTable* routes);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// The simulator this fabric schedules on (shared with callers that need
+  /// to interleave protocol timers with flow completions).
+  sim::Simulator* simulator() const { return simulator_; }
+
+  /// Base RTT added to propagation (host stacks, serialization); default 3ms.
+  void set_base_rtt_s(double base_rtt) { base_rtt_s_ = base_rtt; }
+  double base_rtt_s() const { return base_rtt_s_; }
+
+  /// Model RTT between two nodes along current routes (forward + reverse
+  /// propagation + base). Errors if either direction is unroutable.
+  util::Result<double> rtt_s(NodeId a, NodeId b) const;
+
+  /// Starts a flow of `bytes` from src to dst; `on_complete` fires exactly
+  /// once with the final stats (any outcome). Fails if no route exists.
+  util::Result<FlowId> start_flow(NodeId src, NodeId dst, std::uint64_t bytes,
+                                  CompletionFn on_complete,
+                                  FlowOptions options = {});
+
+  /// Aborts an in-flight flow (its callback fires with kAborted).
+  /// No-op if the flow already finished.
+  void abort_flow(FlowId id);
+
+  /// Disables a link; flows routed over it fail with kLinkFailed and the
+  /// route tables are invalidated (new flows re-route around it).
+  void fail_link(LinkId link);
+
+  /// Re-enables a previously failed link.
+  void restore_link(LinkId link);
+
+  /// Current allocated rate of a flow in Mbps (0 if pending/unknown).
+  double current_rate_mbps(FlowId id) const;
+
+  std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Total payload bytes fully delivered since construction.
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+  /// Sum over all flows, finished or not, of bytes actually moved so far.
+  /// Used by conservation tests: never exceeds the sum of submitted bytes.
+  double moved_bytes() const;
+
+  /// Instantaneous per-link load (observability for congestion analysis).
+  struct LinkLoad {
+    LinkId link = kInvalidLink;
+    double allocated_mbps = 0.0;
+    double capacity_mbps = 0.0;
+    int flows = 0;
+
+    double utilization() const {
+      return capacity_mbps > 0.0 ? allocated_mbps / capacity_mbps : 0.0;
+    }
+  };
+
+  /// Loads of every link currently carrying at least one active flow.
+  std::vector<LinkLoad> link_loads() const;
+
+ private:
+  struct Flow {
+    FlowStats stats;
+    CompletionFn on_complete;
+    double remaining_bytes = 0.0;
+    double rate_bps = 0.0;   // current allocation, bytes/sec
+    double cap_bps = 0.0;    // per-flow ceiling, bytes/sec
+    bool activated = false;  // false while in modelled slow start
+    sim::EventId activation_event;
+  };
+
+  // Moves simulated byte-progress forward to simulator->now().
+  void advance_to_now();
+
+  // Recomputes the max-min allocation and reschedules the completion event.
+  void reallocate_and_reschedule();
+
+  // Completes/fails `flow` (already removed from flows_) and fires callback.
+  void finish(Flow flow, FlowOutcome outcome);
+
+  void on_completion_event();
+
+  sim::Simulator* simulator_;
+  Topology* topo_;
+  RouteTable* routes_;
+  double base_rtt_s_ = 0.003;
+
+  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  FlowId next_flow_id_ = 1;
+  sim::Time last_advance_ = 0.0;
+  sim::EventId completion_event_;
+  std::uint64_t delivered_bytes_ = 0;
+  double finished_moved_bytes_ = 0.0;
+};
+
+}  // namespace droute::net

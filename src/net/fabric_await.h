@@ -1,0 +1,75 @@
+// Coroutine adapter for the fabric: awaiting a TransferAwaitable suspends a
+// sim::Process until the flow completes and yields its FlowStats — letting
+// multi-leg transfer scripts read sequentially instead of as callback
+// chains (see tests/coroutine_test.cpp for a two-leg detour written
+// this way).
+//
+// Usage (note the named local):
+//
+//   auto leg = net::transfer(fabric, src, dst, bytes);
+//   auto stats = co_await leg;
+//
+// The awaitable is deliberately *lvalue-only* (every awaiter method is
+// &-qualified): GCC 12 miscompiles temporaries awaited directly in a
+// co_await expression (double destruction of the temporary frame slot,
+// GCC PR 99576 family), so `co_await transfer(...)` is rejected at compile
+// time instead of corrupting the heap at run time.
+#pragma once
+
+#include <coroutine>
+#include <optional>
+
+#include "net/fabric.h"
+#include "sim/process.h"
+
+namespace droute::net {
+
+class TransferAwaitable {
+ public:
+  TransferAwaitable(Fabric& fabric, NodeId src, NodeId dst,
+                    std::uint64_t bytes, FlowOptions options = {})
+      : fabric_(&fabric), src_(src), dst_(dst), bytes_(bytes),
+        options_(std::move(options)) {}
+
+  bool await_ready() const& noexcept { return false; }
+
+  bool await_suspend(std::coroutine_handle<> handle) & {
+    auto flow = fabric_->start_flow(
+        src_, dst_, bytes_,
+        [this, handle](const FlowStats& stats) {
+          stats_ = stats;
+          handle.resume();
+        },
+        options_);
+    if (!flow.ok()) {
+      // Flow rejected synchronously: resume immediately with no stats.
+      error_ = flow.error().message;
+      return false;  // do not suspend
+    }
+    return true;
+  }
+
+  /// The completed flow's stats, or nullopt when the flow was rejected
+  /// (check error() for the reason).
+  std::optional<FlowStats> await_resume() const& { return stats_; }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  Fabric* fabric_;
+  NodeId src_;
+  NodeId dst_;
+  std::uint64_t bytes_;
+  FlowOptions options_;
+  std::optional<FlowStats> stats_;
+  std::string error_;
+};
+
+/// Builds a transfer awaitable; bind it to a local, then co_await it.
+inline TransferAwaitable transfer(Fabric& fabric, NodeId src, NodeId dst,
+                                  std::uint64_t bytes,
+                                  FlowOptions options = {}) {
+  return TransferAwaitable(fabric, src, dst, bytes, std::move(options));
+}
+
+}  // namespace droute::net

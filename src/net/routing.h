@@ -1,0 +1,134 @@
+// Two-level WAN routing.
+//
+// Level 1 — inter-domain, "BGP-lite": per destination AS, every AS selects a
+// best route following standard policy routing:
+//   * Gao–Rexford export rules (routes learned from customers are exported to
+//     everybody; routes learned from peers/providers only to customers),
+//   * selection preference customer > peer > provider, then shortest AS path,
+//     then lowest next-hop AS id (deterministic tie-break).
+// The resulting AS paths are valley-free by construction.
+//
+// Level 2 — node-level expansion: the AS path is expanded to a concrete
+// node/link path by choosing, per AS hop, the egress gateway link that
+// minimizes intra-AS propagation delay, with intra-AS segments routed by
+// Dijkstra over link delay.
+//
+// Source-tag egress overrides model the paper's central routing artifact:
+// traffic from PlanetLab-tagged sources is forced out a different egress
+// (the policed PacificWave hop of Fig 5) than other traffic at the same
+// router (the direct peering of Fig 6). An override may change the next AS;
+// expansion then re-consults BGP from the forced link's far end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace droute::net {
+
+/// A concrete forwarding path: nodes.size() == links.size() + 1.
+struct Route {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  bool valid() const {
+    return !nodes.empty() && nodes.size() == links.size() + 1;
+  }
+};
+
+/// Policy-routing exception installed at one router. A source matches when
+/// its tag equals `src_tag` (if set) OR its address falls inside
+/// `src_prefix`/`src_prefix_bits` (if prefix_bits > 0) — real policy routing
+/// matches on source prefixes; tags are the scenario-authoring shorthand.
+struct EgressOverride {
+  NodeId at = kInvalidNode;     // router applying the policy
+  std::string src_tag;          // matches Node::tag of the flow source
+  geo::Ipv4 src_prefix{};       // alternative matcher: source address prefix
+  int src_prefix_bits = 0;      // 0 = prefix matching disabled
+  AsId dst_as = kInvalidAs;     // destination AS the policy applies to
+  LinkId use_link = kInvalidLink;  // forced egress link from `at`
+
+  bool matches_source(const Node& source) const;
+};
+
+/// How an AS learned its best route toward a destination (selection order).
+enum class RouteOrigin : std::uint8_t {
+  kSelf = 0,      // destination is in this AS
+  kCustomer = 1,  // learned from a customer
+  kPeer = 2,      // learned from a peer
+  kProvider = 3,  // learned from a provider
+};
+
+class RouteTable {
+ public:
+  explicit RouteTable(const Topology* topo) : topo_(topo) {}
+
+  /// Installs a policy-routing exception (see EgressOverride).
+  void add_override(EgressOverride ov);
+
+  /// Best AS-level path src_as -> dst_as (inclusive), or error if the policy
+  /// graph offers no valley-free route.
+  util::Result<std::vector<AsId>> as_path(AsId src_as, AsId dst_as) const;
+
+  /// How `as` learned its route toward `dst_as` (for route inspection).
+  util::Result<RouteOrigin> route_origin(AsId as, AsId dst_as) const;
+
+  /// Concrete node/link route from `src` to `dst`. Honors the source node's
+  /// policy tag for egress overrides. Cached; call invalidate() after any
+  /// set_link_enabled().
+  util::Result<Route> route(NodeId src, NodeId dst) const;
+
+  /// Drops all cached routes and BGP tables (topology changed).
+  void invalidate();
+
+  /// One-way propagation delay along a route (sum of link delays).
+  double one_way_delay_s(const Route& route) const;
+
+  /// End-to-end stationary loss probability along a route.
+  double path_loss(const Route& route) const;
+
+  /// Most restrictive per-flow policer on the route (0 = none).
+  double min_policer_mbps(const Route& route) const;
+
+  /// Most restrictive traversed middlebox per-flow ceiling (0 = none).
+  /// Endpoints do not count: a middlebox constrains traffic *through* it.
+  double min_middlebox_mbps(const Route& route) const;
+
+  /// Raw capacity of the narrowest link (the no-contention rate bound).
+  double bottleneck_capacity_mbps(const Route& route) const;
+
+ private:
+  struct BgpEntry {
+    bool reachable = false;
+    RouteOrigin origin = RouteOrigin::kSelf;
+    std::uint32_t path_len = 0;  // number of AS hops to destination
+    AsId next_as = kInvalidAs;
+  };
+
+  // Per destination AS: entry for every AS. Built on demand.
+  const std::vector<BgpEntry>& bgp_table(AsId dst_as) const;
+
+  // Dijkstra by delay within one AS over enabled links.
+  util::Result<Route> intra_as_route(NodeId src, NodeId dst) const;
+
+  // Cheapest enabled inter-AS link from AS `from` into AS `to`, measured as
+  // (intra-AS delay from `cur` to link.src) + link delay. Returns the link
+  // and the intra-AS route reaching it.
+  struct GatewayChoice {
+    LinkId link = kInvalidLink;
+    Route approach;  // cur .. link.src
+  };
+  util::Result<GatewayChoice> pick_gateway(NodeId cur, AsId to) const;
+
+  const Topology* topo_;
+  std::vector<EgressOverride> overrides_;
+  mutable std::map<AsId, std::vector<BgpEntry>> bgp_cache_;
+  mutable std::map<std::tuple<NodeId, NodeId>, Route> route_cache_;
+};
+
+}  // namespace droute::net

@@ -1,0 +1,47 @@
+#include "net/tcp_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/units.h"
+
+namespace droute::net {
+
+double window_limit_mbps(double rtt_s, const TcpParams& params) {
+  if (rtt_s <= 0.0) return std::numeric_limits<double>::infinity();
+  return util::bytes_per_sec_to_mbps(params.rwnd_bytes / rtt_s);
+}
+
+double mathis_limit_mbps(double rtt_s, double loss, const TcpParams& params) {
+  if (loss <= 0.0) return std::numeric_limits<double>::infinity();
+  if (rtt_s <= 0.0) return std::numeric_limits<double>::infinity();
+  const double bps =
+      params.mss_bytes / rtt_s * params.mathis_c / std::sqrt(loss);
+  return util::bytes_per_sec_to_mbps(bps);
+}
+
+double flow_cap_mbps(double rtt_s, double loss, double policer_mbps,
+                     double middlebox_mbps, const TcpParams& params) {
+  double cap = std::min(window_limit_mbps(rtt_s, params),
+                        mathis_limit_mbps(rtt_s, loss, params));
+  if (policer_mbps > 0.0) cap = std::min(cap, policer_mbps);
+  if (middlebox_mbps > 0.0) cap = std::min(cap, middlebox_mbps);
+  return cap;
+}
+
+double slow_start_delay_s(double rtt_s, double target_mbps,
+                          const TcpParams& params) {
+  if (rtt_s <= 0.0 || target_mbps <= 0.0 ||
+      !std::isfinite(target_mbps)) {
+    return 0.0;
+  }
+  const double target_window_bytes =
+      util::mbps_to_bytes_per_sec(target_mbps) * rtt_s;
+  const double init_bytes = params.init_cwnd_segments * params.mss_bytes;
+  if (target_window_bytes <= init_bytes) return 0.0;
+  const double doublings = std::log2(target_window_bytes / init_bytes);
+  return doublings * rtt_s;
+}
+
+}  // namespace droute::net

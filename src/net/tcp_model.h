@@ -1,0 +1,42 @@
+// Steady-state TCP throughput model for per-flow rate caps.
+//
+// A fluid flow in the fabric is capped by the slowest of:
+//   * receive-window limit      rwnd / RTT,
+//   * loss limit (Mathis et al. '97)  (MSS / RTT) * C / sqrt(p),
+//   * any per-flow policer or middlebox ceiling on the route.
+// Link capacity contention is handled separately by the max-min allocator.
+//
+// Slow start is approximated by a startup delay: the time the congestion
+// window needs to reach the flow's cap, during which we conservatively count
+// zero goodput. For multi-chunk API uploads over a persistent connection the
+// engines charge this only on the first chunk.
+#pragma once
+
+#include <cstdint>
+
+namespace droute::net {
+
+struct TcpParams {
+  double mss_bytes = 1460.0;       // Ethernet-typical segment size
+  double rwnd_bytes = 4.0 * 1024 * 1024;  // 4 MiB autotuned window
+  double mathis_c = 1.22;          // sqrt(3/2), the Mathis constant
+  double init_cwnd_segments = 10;  // RFC 6928 initial window
+};
+
+/// Window-limited rate in Mbps (rtt in seconds).
+double window_limit_mbps(double rtt_s, const TcpParams& params);
+
+/// Mathis loss-limited rate in Mbps; returns +inf when loss == 0.
+double mathis_limit_mbps(double rtt_s, double loss, const TcpParams& params);
+
+/// Effective per-flow cap combining window, loss, policer and middlebox
+/// ceilings (the last two pass 0 to mean "none").
+double flow_cap_mbps(double rtt_s, double loss, double policer_mbps,
+                     double middlebox_mbps, const TcpParams& params);
+
+/// Slow-start time to ramp the congestion window from the initial window to
+/// the window sustaining `target_mbps` at `rtt_s` (doubling each RTT).
+double slow_start_delay_s(double rtt_s, double target_mbps,
+                          const TcpParams& params);
+
+}  // namespace droute::net

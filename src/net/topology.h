@@ -1,0 +1,176 @@
+// WAN topology: autonomous systems, nodes (hosts/routers), directed links.
+//
+// The topology is *static* during a simulation (links can be administratively
+// disabled for failure injection, which triggers re-routing, but never
+// resized). All dynamic state (flows, allocations) lives in net::Fabric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "geo/registry.h"
+#include "util/result.h"
+
+namespace droute::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+using AsId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+inline constexpr AsId kInvalidAs = -1;
+
+enum class NodeKind { kHost, kRouter };
+
+/// Business relationship of an inter-AS adjacency, seen from the first AS.
+enum class AsRelation {
+  kCustomer,  // the other AS is our customer (we are paid to carry)
+  kPeer,      // settlement-free peer
+  kProvider,  // the other AS is our transit provider (we pay)
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;          // DNS-style name, e.g. "vncv1rtr2.canarie.ca"
+  AsId as_id = kInvalidAs;
+  NodeKind kind = NodeKind::kRouter;
+  geo::Coord coord;
+  geo::Ipv4 ip;              // assigned by Topology::Builder
+  std::string tag;           // policy tag, e.g. "planetlab" (see routing.h)
+  // Science-DMZ-style middlebox: per-flow throughput ceiling for traffic
+  // traversing (not originating at) this node. 0 = no middlebox.
+  double middlebox_per_flow_mbps = 0.0;
+};
+
+struct As {
+  AsId id = kInvalidAs;
+  std::string name;  // e.g. "CANARIE", "PacificWave", "GoogleAS"
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double capacity_mbps = 0.0;   // shared fluid capacity
+  double prop_delay_s = 0.0;    // one-way propagation
+  double loss_rate = 0.0;       // stationary packet-loss probability
+  // Per-flow policer (token bucket steady rate) applied to each flow that
+  // crosses this link, independent of fair share. 0 = none. This is the
+  // "rate-limited middlebox hop" hypothesis of Sec III-D (pacificwave).
+  double policer_per_flow_mbps = 0.0;
+  bool enabled = true;          // failure injection switch
+};
+
+class Topology {
+ public:
+  class Builder;
+
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const Link& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+  const As& as_info(AsId id) const { return ases_.at(static_cast<std::size_t>(id)); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t as_count() const { return ases_.size(); }
+
+  /// Links leaving `node` (includes disabled links; callers filter).
+  const std::vector<LinkId>& out_links(NodeId node) const {
+    return out_links_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Finds the enabled link src->dst, if any.
+  std::optional<LinkId> find_link(NodeId src, NodeId dst) const;
+
+  std::optional<NodeId> find_node(const std::string& name) const;
+
+  /// AS-relationship of the adjacency first->second, if declared.
+  std::optional<AsRelation> relation(AsId first, AsId second) const;
+
+  /// All declared AS adjacencies as (first, second, relation-of-second-to-first).
+  struct AsAdjacency {
+    AsId first;
+    AsId second;
+    AsRelation rel;  // what `second` is to `first`
+  };
+  const std::vector<AsAdjacency>& as_adjacencies() const { return as_adj_; }
+
+  /// Administrative link control for failure injection. Affects new route
+  /// computations; Fabric additionally kills flows on disabled links.
+  util::Status set_link_enabled(LinkId id, bool enabled);
+
+  /// Adjusts a node's per-flow middlebox ceiling at runtime (ablations:
+  /// Science-DMZ firewall on/off). Affects flows started afterwards.
+  util::Status set_middlebox(NodeId id, double per_flow_mbps);
+
+  /// Topology-wide sanity checks (ids consistent, links connect declared
+  /// nodes, inter-AS links have a declared relationship, etc).
+  util::Status validate() const;
+
+  /// Geolocation registry populated with every node (name + IP bound).
+  const geo::Registry& registry() const { return registry_; }
+
+ private:
+  friend class Builder;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<As> ases_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<AsAdjacency> as_adj_;
+  geo::Registry registry_;
+};
+
+/// Optional per-link attributes (see Link for semantics).
+struct LinkOpts {
+  double loss_rate = 0.0;
+  double policer_per_flow_mbps = 0.0;
+};
+
+/// Fluent construction with automatic IP assignment (10.x.y.z by AS) and
+/// registry population. Build() validates.
+class Topology::Builder {
+ public:
+  Builder() = default;
+
+  AsId add_as(const std::string& name);
+
+  /// Declares what `b` is to `a` (and records the converse implicitly:
+  /// customer<->provider are duals; peer is symmetric).
+  Builder& relate(AsId a, AsId b, AsRelation b_is_to_a);
+
+  NodeId add_router(AsId as, const std::string& name, geo::Coord coord,
+                    const std::string& city = "");
+  NodeId add_host(AsId as, const std::string& name, geo::Coord coord,
+                  const std::string& city = "", const std::string& tag = "");
+
+  /// Sets the per-flow middlebox ceiling on an existing node.
+  Builder& middlebox(NodeId node, double per_flow_mbps);
+
+  /// One directed link.
+  LinkId add_link(NodeId src, NodeId dst, double capacity_mbps,
+                  double prop_delay_s, LinkOpts opts = {});
+
+  /// Two directed links with identical parameters; returns forward id.
+  LinkId add_duplex(NodeId a, NodeId b, double capacity_mbps,
+                    double prop_delay_s, LinkOpts opts = {});
+
+  /// Duplex link with propagation delay derived from the endpoints' geo
+  /// coordinates (great-circle x inflation).
+  LinkId add_duplex_geo(NodeId a, NodeId b, double capacity_mbps,
+                        LinkOpts opts = {});
+
+  util::Result<Topology> build() &&;
+
+ private:
+  NodeId add_node(AsId as, const std::string& name, NodeKind kind,
+                  geo::Coord coord, const std::string& city,
+                  const std::string& tag);
+
+  Topology topo_;
+  std::vector<std::uint32_t> next_host_in_as_;
+};
+
+}  // namespace droute::net

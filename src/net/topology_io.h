@@ -1,0 +1,32 @@
+// Plain-text topology format: lets downstream users define their own WANs
+// (and lets tests golden-check the built-in scenario) without recompiling.
+//
+// Line-based, '#' comments, whitespace-separated tokens:
+//
+//   as <name>
+//   relate <as> customer|peer|provider <as>     # what the 2nd AS is to the 1st
+//   node <name> host|router <as> <lat> <lon> [city="..."] [tag=...]
+//        [middlebox=<mbps>]
+//   link <src> <dst> cap=<mbps> delay_ms=<ms> [loss=<p>] [policer=<mbps>]
+//        [duplex]
+//
+// Decoding is strict: unknown directives, dangling names, malformed numbers
+// and constraint violations (via Topology::Builder / validate()) all fail
+// with a line-numbered error.
+#pragma once
+
+#include <string>
+
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace droute::net {
+
+/// Parses a topology document. Errors carry the offending line number.
+util::Result<Topology> parse_topology(const std::string& text);
+
+/// Serializes a topology to the same format (round-trips through
+/// parse_topology up to floating-point rendering).
+std::string serialize_topology(const Topology& topo);
+
+}  // namespace droute::net

@@ -1,0 +1,26 @@
+#include "rsyncx/checksum.h"
+
+namespace droute::rsyncx {
+
+namespace {
+constexpr std::uint32_t kMask = 0xffffu;
+}
+
+RollingChecksum::RollingChecksum(std::span<const std::uint8_t> window) {
+  n_ = static_cast<std::uint32_t>(window.size());
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    a_ = (a_ + window[i]) & kMask;
+    b_ = (b_ + (n_ - i) * window[i]) & kMask;
+  }
+}
+
+void RollingChecksum::roll(std::uint8_t leaving, std::uint8_t entering) {
+  a_ = (a_ - leaving + entering) & kMask;
+  b_ = (b_ - n_ * leaving + a_) & kMask;
+}
+
+std::uint32_t weak_checksum(std::span<const std::uint8_t> data) {
+  return RollingChecksum(data).digest();
+}
+
+}  // namespace droute::rsyncx

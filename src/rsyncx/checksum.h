@@ -1,0 +1,39 @@
+// Rolling weak checksum — the rsync algorithm's first-pass filter.
+//
+// This is Tridgell's adaptation of Adler-32: two 16-bit sums (a = sum of
+// bytes, b = sum of prefix sums) packed into 32 bits. Its defining property
+// is O(1) *rolling*: the checksum of window [i+1, i+n] is computed from the
+// checksum of [i, i+n] plus the entering/leaving bytes, which is what makes
+// scanning every byte offset of a large file affordable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace droute::rsyncx {
+
+class RollingChecksum {
+ public:
+  RollingChecksum() = default;
+
+  /// Initializes over a full window.
+  explicit RollingChecksum(std::span<const std::uint8_t> window);
+
+  /// O(1) roll: remove `leaving`, append `entering`, window size constant.
+  void roll(std::uint8_t leaving, std::uint8_t entering);
+
+  /// Current 32-bit digest (b << 16 | a).
+  std::uint32_t digest() const { return (b_ << 16) | a_; }
+
+  std::uint32_t window_size() const { return n_; }
+
+ private:
+  std::uint32_t a_ = 0;  // mod 2^16 by masking
+  std::uint32_t b_ = 0;
+  std::uint32_t n_ = 0;
+};
+
+/// One-shot weak checksum of a buffer.
+std::uint32_t weak_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,138 @@
+#include "rsyncx/delta.h"
+
+#include <algorithm>
+
+#include "rsyncx/checksum.h"
+#include "util/result.h"
+
+namespace droute::rsyncx {
+
+std::uint64_t Delta::wire_bytes() const {
+  std::uint64_t bytes = 24;  // header: sizes, block size, op count
+  for (const DeltaOp& op : ops) {
+    if (std::holds_alternative<CopyOp>(op)) {
+      bytes += 12;  // block index + run length
+    } else {
+      bytes += 8 + std::get<LiteralOp>(op).data.size();
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t Delta::copied_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const DeltaOp& op : ops) {
+    if (const auto* copy = std::get_if<CopyOp>(&op)) bytes += copy->length;
+  }
+  return bytes;
+}
+
+std::uint64_t Delta::literal_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const DeltaOp& op : ops) {
+    if (const auto* lit = std::get_if<LiteralOp>(&op)) {
+      bytes += lit->data.size();
+    }
+  }
+  return bytes;
+}
+
+namespace {
+
+/// True when basis block `index` has exactly `len` bytes.
+bool block_has_length(const Signature& sig, std::uint32_t index,
+                      std::size_t len) {
+  const std::uint64_t start =
+      static_cast<std::uint64_t>(index) * sig.block_size;
+  const std::uint64_t actual =
+      std::min<std::uint64_t>(sig.block_size, sig.basis_size - start);
+  return actual == len;
+}
+
+}  // namespace
+
+Delta compute_delta(std::span<const std::uint8_t> target,
+                    const SignatureIndex& index) {
+  const Signature& sig = index.signature();
+  const std::uint32_t block = sig.block_size;
+
+  Delta delta;
+  delta.target_size = target.size();
+  delta.block_size = block;
+
+  std::vector<std::uint8_t> pending;
+  auto flush_literal = [&] {
+    if (!pending.empty()) {
+      delta.ops.emplace_back(LiteralOp{std::move(pending)});
+      pending.clear();
+    }
+  };
+  auto emit_copy = [&](std::uint32_t block_index, std::uint64_t length) {
+    flush_literal();
+    if (!delta.ops.empty()) {
+      if (auto* prev = std::get_if<CopyOp>(&delta.ops.back())) {
+        // Merge contiguous full-block runs into one Copy op.
+        const bool contiguous =
+            prev->length % block == 0 &&
+            prev->block_index + prev->length / block == block_index;
+        if (contiguous) {
+          prev->length += length;
+          return;
+        }
+      }
+    }
+    delta.ops.emplace_back(CopyOp{block_index, length});
+  };
+
+  // Finds a block of exactly `len` bytes matching target[p, p+len).
+  auto find_match = [&](std::size_t p, std::size_t len,
+                        std::uint32_t weak) -> std::optional<std::uint32_t> {
+    std::optional<Md5Digest> strong;  // computed at most once per position
+    for (std::uint32_t cand : index.candidates(weak)) {
+      const BlockSignature& bs = sig.blocks[cand];
+      if (!block_has_length(sig, bs.index, len)) continue;
+      if (!strong) strong = Md5::hash(target.subspan(p, len));
+      if (bs.strong == *strong) return bs.index;
+    }
+    return std::nullopt;
+  };
+
+  std::size_t p = 0;
+  if (target.size() >= block) {
+    RollingChecksum rc(target.subspan(0, block));
+    while (p + block <= target.size()) {
+      if (auto match = find_match(p, block, rc.digest())) {
+        emit_copy(*match, block);
+        p += block;
+        if (p + block <= target.size()) {
+          rc = RollingChecksum(target.subspan(p, block));
+        }
+      } else {
+        pending.push_back(target[p]);
+        if (p + block < target.size()) {
+          rc.roll(target[p], target[p + block]);
+        } else {
+          ++p;
+          break;  // window can no longer slide; tail handled below
+        }
+        ++p;
+      }
+    }
+  }
+
+  // Tail shorter than one block: it can only match the basis tail block.
+  if (p < target.size()) {
+    const std::size_t len = target.size() - p;
+    const std::uint32_t weak = weak_checksum(target.subspan(p, len));
+    if (auto match = find_match(p, len, weak)) {
+      emit_copy(*match, len);
+    } else {
+      pending.insert(pending.end(), target.begin() + static_cast<std::ptrdiff_t>(p),
+                     target.end());
+    }
+  }
+  flush_literal();
+  return delta;
+}
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,49 @@
+// Delta generation: the rsync sender scans its file with the rolling
+// checksum, matching windows against the receiver's signature; matched
+// blocks become Copy ops, unmatched bytes become Literal ops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "rsyncx/signature.h"
+
+namespace droute::rsyncx {
+
+/// Copy `length` bytes starting at basis block `block_index` (length can
+/// exceed one block when consecutive blocks match — run-length merging).
+struct CopyOp {
+  std::uint32_t block_index = 0;
+  std::uint64_t length = 0;
+};
+
+struct LiteralOp {
+  std::vector<std::uint8_t> data;
+};
+
+using DeltaOp = std::variant<CopyOp, LiteralOp>;
+
+struct Delta {
+  std::uint64_t target_size = 0;   // size of the file being encoded
+  std::uint32_t block_size = 0;    // must match the signature's
+  std::vector<DeltaOp> ops;
+
+  /// Bytes on the wire: literals dominate; copies cost 12B, a header 24B.
+  std::uint64_t wire_bytes() const;
+
+  /// Total bytes produced by Copy ops (i.e. saved from transmission).
+  std::uint64_t copied_bytes() const;
+
+  /// Total literal payload bytes.
+  std::uint64_t literal_bytes() const;
+};
+
+/// Computes the delta that rebuilds `target` from the basis described by
+/// `index`. With an empty basis the delta degenerates to one big literal —
+/// the paper's benchmarking case (files deleted before each run, Sec II).
+Delta compute_delta(std::span<const std::uint8_t> target,
+                    const SignatureIndex& index);
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,44 @@
+// MD5 (RFC 1321) — the strong per-block checksum of the rsync algorithm.
+//
+// MD5 is cryptographically broken for adversarial collision resistance, but
+// that is exactly the role it plays in real rsync: an accidental-collision
+// guard behind the rolling checksum, not a security boundary. Implemented
+// from the RFC so the library has no external dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace droute::rsyncx {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs more input (streaming interface).
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalizes and returns the digest. The object must not be reused.
+  Md5Digest finalize();
+
+  /// One-shot convenience.
+  static Md5Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  bool finalized_ = false;
+};
+
+/// Lowercase hex rendering.
+std::string to_hex(const Md5Digest& digest);
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,44 @@
+#include "rsyncx/patch.h"
+
+#include "rsyncx/signature.h"
+
+namespace droute::rsyncx {
+
+util::Result<util::Blob> apply_delta(std::span<const std::uint8_t> basis,
+                                     const Delta& delta) {
+  if (delta.block_size == 0) {
+    return util::Error::make("delta: zero block size");
+  }
+  util::Blob out;
+  out.reserve(delta.target_size);
+  for (const DeltaOp& op : delta.ops) {
+    if (const auto* copy = std::get_if<CopyOp>(&op)) {
+      const std::uint64_t start =
+          static_cast<std::uint64_t>(copy->block_index) * delta.block_size;
+      if (start > basis.size() || copy->length > basis.size() - start) {
+        return util::Error::make("delta: copy op out of basis range");
+      }
+      out.insert(out.end(), basis.begin() + static_cast<std::ptrdiff_t>(start),
+                 basis.begin() + static_cast<std::ptrdiff_t>(start +
+                                                             copy->length));
+    } else {
+      const auto& lit = std::get<LiteralOp>(op);
+      out.insert(out.end(), lit.data.begin(), lit.data.end());
+    }
+  }
+  if (out.size() != delta.target_size) {
+    return util::Error::make("delta: reconstructed size mismatch");
+  }
+  return out;
+}
+
+util::Result<util::Blob> round_trip(std::span<const std::uint8_t> basis,
+                                    std::span<const std::uint8_t> target,
+                                    std::uint32_t block_size) {
+  const Signature sig = compute_signature(basis, block_size);
+  const SignatureIndex index(sig);
+  const Delta delta = compute_delta(target, index);
+  return apply_delta(basis, delta);
+}
+
+}  // namespace droute::rsyncx

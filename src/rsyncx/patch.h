@@ -1,0 +1,25 @@
+// Patch application: the rsync receiver rebuilds the target file from its
+// basis plus the delta, then verifies the whole-file checksum.
+#pragma once
+
+#include <span>
+
+#include "rsyncx/delta.h"
+#include "util/blob.h"
+#include "util/result.h"
+
+namespace droute::rsyncx {
+
+/// Applies `delta` to `basis`. Fails (without UB) on any malformed delta:
+/// out-of-range block index, copy run past the basis end, or a reconstructed
+/// size that contradicts the delta header.
+util::Result<util::Blob> apply_delta(std::span<const std::uint8_t> basis,
+                                     const Delta& delta);
+
+/// End-to-end convenience used in tests: full sender+receiver round trip.
+/// Returns the reconstruction of `target` against `basis`.
+util::Result<util::Blob> round_trip(std::span<const std::uint8_t> basis,
+                                    std::span<const std::uint8_t> target,
+                                    std::uint32_t block_size);
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,45 @@
+#include "rsyncx/session.h"
+
+#include "rsyncx/signature.h"
+
+namespace droute::rsyncx {
+
+SessionPlan plan_session(std::span<const std::uint8_t> target,
+                         std::optional<std::span<const std::uint8_t>> basis,
+                         const CpuModel& cpu) {
+  SessionPlan plan;
+  plan.block_size = recommended_block_size(
+      basis ? basis->size() : target.size());
+
+  Signature sig;
+  if (basis && !basis->empty()) {
+    sig = compute_signature(*basis, plan.block_size);
+  } else {
+    sig.block_size = plan.block_size;
+    sig.basis_size = 0;
+  }
+  const SignatureIndex index(sig);
+  plan.delta = compute_delta(target, index);
+
+  plan.forward_wire_bytes = plan.delta.wire_bytes() + kSessionFramingBytes;
+  plan.reverse_wire_bytes = sig.wire_bytes() + kSessionFramingBytes;
+
+  const double basis_bytes =
+      basis ? static_cast<double>(basis->size()) : 0.0;
+  plan.receiver_cpu_s = basis_bytes / cpu.signature_bytes_per_s +
+                        static_cast<double>(plan.delta.target_size) /
+                            cpu.patch_bytes_per_s;
+  plan.sender_cpu_s =
+      static_cast<double>(target.size()) / cpu.scan_bytes_per_s;
+  return plan;
+}
+
+util::Result<util::Blob> execute_plan(
+    const SessionPlan& plan,
+    std::optional<std::span<const std::uint8_t>> basis) {
+  const std::span<const std::uint8_t> basis_span =
+      basis.value_or(std::span<const std::uint8_t>{});
+  return apply_delta(basis_span, plan.delta);
+}
+
+}  // namespace droute::rsyncx

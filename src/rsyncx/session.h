@@ -1,0 +1,53 @@
+// Whole-session accounting for one rsync transfer: who computes what, and
+// how many bytes cross the wire in each direction.
+//
+// The transfer engines (src/transfer) use this to charge the network and CPU
+// costs of the client -> DTN leg of a detour. The paper's benchmark case —
+// the receiver has no basis file — degenerates to a full-file literal send,
+// which tests assert explicitly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "rsyncx/delta.h"
+#include "rsyncx/patch.h"
+#include "util/blob.h"
+#include "util/result.h"
+
+namespace droute::rsyncx {
+
+/// CPU throughput assumptions for cost modelling (bytes/second).
+struct CpuModel {
+  double signature_bytes_per_s = 350e6;  // receiver: rolling + MD5 pass
+  double scan_bytes_per_s = 450e6;       // sender: rolling scan + MD5 on hits
+  double patch_bytes_per_s = 1.5e9;      // receiver: memcpy-dominated rebuild
+};
+
+struct SessionPlan {
+  Delta delta;                       // what the sender will transmit
+  std::uint64_t forward_wire_bytes;  // sender -> receiver (delta + framing)
+  std::uint64_t reverse_wire_bytes;  // receiver -> sender (signature)
+  double sender_cpu_s;               // delta scan time
+  double receiver_cpu_s;             // signature + patch time
+  std::uint32_t block_size;
+};
+
+/// Protocol framing overhead per session (greeting, file list, trailer),
+/// matching rsync's order of magnitude rather than its exact encoding.
+inline constexpr std::uint64_t kSessionFramingBytes = 512;
+
+/// Plans a session transferring `target` to a receiver holding `basis`
+/// (nullopt = receiver has no file, the paper's benchmark configuration).
+SessionPlan plan_session(std::span<const std::uint8_t> target,
+                         std::optional<std::span<const std::uint8_t>> basis,
+                         const CpuModel& cpu = {});
+
+/// Executes the plan's data path for real (used by tests to prove the plan's
+/// delta actually reconstructs the file): returns the receiver's rebuilt file.
+util::Result<util::Blob> execute_plan(
+    const SessionPlan& plan,
+    std::optional<std::span<const std::uint8_t>> basis);
+
+}  // namespace droute::rsyncx

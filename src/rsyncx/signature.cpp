@@ -1,0 +1,57 @@
+#include "rsyncx/signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rsyncx/checksum.h"
+
+namespace droute::rsyncx {
+
+Signature compute_signature(std::span<const std::uint8_t> basis,
+                            std::uint32_t block_size) {
+  DROUTE_CHECK(block_size > 0, "block_size must be positive");
+  Signature sig;
+  sig.block_size = block_size;
+  sig.basis_size = basis.size();
+  const std::size_t full_blocks = basis.size() / block_size;
+  const bool tail = basis.size() % block_size != 0;
+  sig.blocks.reserve(full_blocks + (tail ? 1 : 0));
+  std::uint32_t index = 0;
+  for (std::size_t off = 0; off < basis.size(); off += block_size) {
+    const std::size_t len = std::min<std::size_t>(block_size,
+                                                  basis.size() - off);
+    const auto block = basis.subspan(off, len);
+    BlockSignature bs;
+    bs.weak = weak_checksum(block);
+    bs.strong = Md5::hash(block);
+    bs.index = index++;
+    sig.blocks.push_back(bs);
+  }
+  return sig;
+}
+
+std::uint32_t recommended_block_size(std::uint64_t file_size) {
+  // rsync heuristic: roughly sqrt(size), rounded to a multiple of 8,
+  // clamped to [700, 128 KiB] (700 is rsync's historical floor).
+  if (file_size == 0) return 700;
+  const double root = std::sqrt(static_cast<double>(file_size));
+  auto size = static_cast<std::uint32_t>(root / 8.0) * 8;
+  return std::clamp<std::uint32_t>(size, 700, 128 * 1024);
+}
+
+SignatureIndex::SignatureIndex(const Signature& signature)
+    : signature_(&signature) {
+  by_weak_.reserve(signature.blocks.size());
+  for (std::uint32_t i = 0; i < signature.blocks.size(); ++i) {
+    by_weak_[signature.blocks[i].weak].push_back(i);
+  }
+}
+
+std::span<const std::uint32_t> SignatureIndex::candidates(
+    std::uint32_t weak) const {
+  auto it = by_weak_.find(weak);
+  if (it == by_weak_.end()) return {};
+  return it->second;
+}
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,59 @@
+// Block signatures: what the rsync *receiver* (which owns a possibly-stale
+// basis file) sends to the sender so the sender can find matching blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rsyncx/md5.h"
+#include "util/result.h"
+
+namespace droute::rsyncx {
+
+struct BlockSignature {
+  std::uint32_t weak = 0;   // rolling checksum of the block
+  Md5Digest strong{};       // MD5 of the block
+  std::uint32_t index = 0;  // block index in the basis file
+};
+
+struct Signature {
+  std::uint32_t block_size = 0;
+  std::uint64_t basis_size = 0;
+  std::vector<BlockSignature> blocks;
+
+  /// Bytes this signature occupies on the wire (weak 4B + strong 16B +
+  /// index 4B per block, plus a 16B header) — charged to the reverse
+  /// direction of the rsync session.
+  std::uint64_t wire_bytes() const {
+    return 16 + blocks.size() * (4 + 16 + 4);
+  }
+};
+
+/// Computes the signature of a basis file. `block_size` must be positive;
+/// rsync's default heuristic (~sqrt(size), rounded, clamped) is exposed as
+/// recommended_block_size().
+Signature compute_signature(std::span<const std::uint8_t> basis,
+                            std::uint32_t block_size);
+
+std::uint32_t recommended_block_size(std::uint64_t file_size);
+
+/// Weak-checksum hash index over a signature, used by the delta scanner to
+/// look up candidate blocks in O(1) per byte offset.
+class SignatureIndex {
+ public:
+  explicit SignatureIndex(const Signature& signature);
+
+  /// Candidate blocks whose weak checksum equals `weak`.
+  std::span<const std::uint32_t> candidates(std::uint32_t weak) const;
+
+  const Signature& signature() const { return *signature_; }
+
+ private:
+  const Signature* signature_;
+  // weak digest -> indices into signature_->blocks
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_weak_;
+};
+
+}  // namespace droute::rsyncx

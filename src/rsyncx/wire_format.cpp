@@ -1,0 +1,223 @@
+#include "rsyncx/wire_format.h"
+
+#include <cstring>
+#include <limits>
+
+namespace droute::rsyncx {
+
+namespace {
+
+class Writer {
+ public:
+  explicit Writer(util::Blob* out) : out_(out) {}
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+ private:
+  util::Blob* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  util::Result<std::uint32_t> u32() {
+    if (pos_ + 4 > data_.size()) return util::Error::make("truncated u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  util::Result<std::uint64_t> u64() {
+    if (pos_ + 8 > data_.size()) return util::Error::make("truncated u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  util::Result<std::span<const std::uint8_t>> bytes(std::size_t n) {
+    if (pos_ + n > data_.size() || n > data_.size()) {
+      return util::Error::make("truncated byte run");
+    }
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Blob encode_signature(const Signature& signature) {
+  util::Blob out;
+  out.reserve(signature.wire_bytes());
+  Writer w(&out);
+  w.u32(kSignatureMagic);
+  w.u32(signature.block_size);
+  w.u64(signature.basis_size);
+  for (const BlockSignature& block : signature.blocks) {
+    w.u32(block.weak);
+    w.bytes(block.strong);
+    w.u32(block.index);
+  }
+  DROUTE_CHECK(out.size() == signature.wire_bytes(),
+               "signature encoding size drifted from wire_bytes()");
+  return out;
+}
+
+util::Result<Signature> decode_signature(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  auto magic = r.u32();
+  if (!magic.ok() || magic.value() != kSignatureMagic) {
+    return util::Error::make("bad signature magic");
+  }
+  Signature sig;
+  auto block_size = r.u32();
+  if (!block_size.ok()) return util::Error{block_size.error()};
+  if (block_size.value() == 0) {
+    return util::Error::make("signature block size must be positive");
+  }
+  sig.block_size = block_size.value();
+  auto basis_size = r.u64();
+  if (!basis_size.ok()) return util::Error{basis_size.error()};
+  sig.basis_size = basis_size.value();
+
+  const std::uint64_t expected_blocks =
+      (sig.basis_size + sig.block_size - 1) / sig.block_size;
+  sig.blocks.reserve(expected_blocks);
+  while (!r.exhausted()) {
+    BlockSignature block;
+    auto weak = r.u32();
+    if (!weak.ok()) return util::Error{weak.error()};
+    block.weak = weak.value();
+    auto strong = r.bytes(block.strong.size());
+    if (!strong.ok()) return util::Error{strong.error()};
+    std::memcpy(block.strong.data(), strong.value().data(),
+                block.strong.size());
+    auto index = r.u32();
+    if (!index.ok()) return util::Error{index.error()};
+    block.index = index.value();
+    if (block.index >= expected_blocks) {
+      return util::Error::make("signature block index out of range");
+    }
+    sig.blocks.push_back(block);
+  }
+  if (sig.blocks.size() != expected_blocks) {
+    return util::Error::make("signature block count mismatch");
+  }
+  return sig;
+}
+
+util::Blob encode_delta(const Delta& delta) {
+  util::Blob out;
+  out.reserve(delta.wire_bytes());
+  Writer w(&out);
+  w.u32(kDeltaMagic);
+  w.u32(kDeltaVersion);
+  w.u64(delta.target_size);
+  w.u32(delta.block_size);
+  w.u32(static_cast<std::uint32_t>(delta.ops.size()));
+  for (const DeltaOp& op : delta.ops) {
+    if (const auto* copy = std::get_if<CopyOp>(&op)) {
+      DROUTE_CHECK(copy->length <= std::numeric_limits<std::uint32_t>::max(),
+                   "copy run exceeds u32 length");
+      w.u32(1);
+      w.u32(copy->block_index);
+      w.u32(static_cast<std::uint32_t>(copy->length));
+    } else {
+      const auto& lit = std::get<LiteralOp>(op);
+      DROUTE_CHECK(lit.data.size() <= std::numeric_limits<std::uint32_t>::max(),
+                   "literal exceeds u32 length");
+      w.u32(2);
+      w.u32(static_cast<std::uint32_t>(lit.data.size()));
+      w.bytes(lit.data);
+    }
+  }
+  DROUTE_CHECK(out.size() == delta.wire_bytes(),
+               "delta encoding size drifted from wire_bytes()");
+  return out;
+}
+
+util::Result<Delta> decode_delta(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  auto magic = r.u32();
+  if (!magic.ok() || magic.value() != kDeltaMagic) {
+    return util::Error::make("bad delta magic");
+  }
+  auto version = r.u32();
+  if (!version.ok() || version.value() != kDeltaVersion) {
+    return util::Error::make("unsupported delta version");
+  }
+  Delta delta;
+  auto target_size = r.u64();
+  if (!target_size.ok()) return util::Error{target_size.error()};
+  delta.target_size = target_size.value();
+  auto block_size = r.u32();
+  if (!block_size.ok()) return util::Error{block_size.error()};
+  if (block_size.value() == 0) {
+    return util::Error::make("delta block size must be positive");
+  }
+  delta.block_size = block_size.value();
+  auto op_count = r.u32();
+  if (!op_count.ok()) return util::Error{op_count.error()};
+
+  std::uint64_t produced = 0;
+  for (std::uint32_t i = 0; i < op_count.value(); ++i) {
+    auto tag = r.u32();
+    if (!tag.ok()) return util::Error{tag.error()};
+    if (tag.value() == 1) {
+      auto index = r.u32();
+      auto length = r.u32();
+      if (!index.ok() || !length.ok()) {
+        return util::Error::make("truncated copy op");
+      }
+      delta.ops.emplace_back(CopyOp{index.value(), length.value()});
+      produced += length.value();
+    } else if (tag.value() == 2) {
+      auto length = r.u32();
+      if (!length.ok()) return util::Error{length.error()};
+      auto payload = r.bytes(length.value());
+      if (!payload.ok()) return util::Error{payload.error()};
+      delta.ops.emplace_back(
+          LiteralOp{util::Blob(payload.value().begin(),
+                               payload.value().end())});
+      produced += length.value();
+    } else {
+      return util::Error::make("unknown delta op tag");
+    }
+    if (produced > delta.target_size) {
+      return util::Error::make("delta ops overrun declared target size");
+    }
+  }
+  if (!r.exhausted()) {
+    return util::Error::make("trailing bytes after final delta op");
+  }
+  if (produced != delta.target_size) {
+    return util::Error::make("delta ops do not cover target size");
+  }
+  return delta;
+}
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,37 @@
+// Wire encoding of rsync signatures and deltas.
+//
+// Fixed little-endian layout, bounds-checked decode (a malformed or
+// truncated stream yields an error, never UB). The byte counts produced
+// here are exactly what Signature::wire_bytes() / Delta::wire_bytes()
+// report, so the simulator's cost accounting and the real socket pipe
+// (wire/rsync_pipe.h) agree byte-for-byte.
+//
+//   Signature: 'DRSG' u32 | block_size u32 | basis_size u64
+//              then per block: weak u32 | strong 16B | index u32
+//   Delta:     'DRSD' u32 | version u32 | target_size u64
+//              | block_size u32 | op_count u32
+//              then ops: tag u32 (1=copy, 2=literal)
+//                copy:    block_index u32 | length u32
+//                literal: length u32 | payload bytes
+#pragma once
+
+#include <span>
+
+#include "rsyncx/delta.h"
+#include "rsyncx/signature.h"
+#include "util/blob.h"
+#include "util/result.h"
+
+namespace droute::rsyncx {
+
+inline constexpr std::uint32_t kSignatureMagic = 0x44525347;  // 'DRSG'
+inline constexpr std::uint32_t kDeltaMagic = 0x44525344;      // 'DRSD'
+inline constexpr std::uint32_t kDeltaVersion = 1;
+
+util::Blob encode_signature(const Signature& signature);
+util::Result<Signature> decode_signature(std::span<const std::uint8_t> bytes);
+
+util::Blob encode_delta(const Delta& delta);
+util::Result<Delta> decode_delta(std::span<const std::uint8_t> bytes);
+
+}  // namespace droute::rsyncx

@@ -1,0 +1,76 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace droute::sim {
+
+EventId Simulator::schedule_at(Time at, Handler handler) {
+  DROUTE_CHECK(at >= now_, "event scheduled in the past");
+  DROUTE_CHECK(handler != nullptr, "null event handler");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, seq});
+  handlers_.emplace(seq, std::move(handler));
+  return EventId{seq};
+}
+
+EventId Simulator::schedule_in(Time delay, Handler handler) {
+  DROUTE_CHECK(delay >= 0.0, "negative event delay");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  auto it = handlers_.find(id.value);
+  if (it == handlers_.end()) return false;  // already fired or never existed
+  handlers_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+void Simulator::skim_cancelled() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time Simulator::next_event_time() const {
+  skim_cancelled();
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+bool Simulator::step() {
+  skim_cancelled();
+  if (heap_.empty()) return false;
+  const Entry entry = heap_.top();
+  heap_.pop();
+  DROUTE_CHECK(entry.at >= now_, "event queue time went backwards");
+  now_ = entry.at;
+  auto it = handlers_.find(entry.id);
+  DROUTE_CHECK(it != handlers_.end(), "live event without handler");
+  Handler handler = std::move(it->second);
+  handlers_.erase(it);
+  ++executed_;
+  handler();
+  return true;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (step()) {
+    DROUTE_CHECK(budget-- > 0, "event budget exhausted: runaway simulation?");
+  }
+}
+
+void Simulator::run_until(Time until, std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (next_event_time() <= until) {
+    step();
+    DROUTE_CHECK(budget-- > 0, "event budget exhausted: runaway simulation?");
+  }
+  if (now_ < until && until < kTimeInfinity) now_ = until;
+}
+
+}  // namespace droute::sim

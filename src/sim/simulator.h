@@ -1,0 +1,101 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a clock (double seconds) and an event queue. Events fire
+// in nondecreasing time order; ties break by scheduling order, which makes
+// every simulation fully deterministic for a fixed seed and input.
+//
+// The kernel knows nothing about networks — the net/ and transfer/ layers
+// schedule events here. Handlers may schedule further events and cancel
+// pending ones (cancellation is lazy: cancelled events are skipped when
+// popped, which keeps scheduling O(log n)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/result.h"
+
+namespace droute::sim {
+
+using Time = double;  // simulated seconds since simulation start
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Identifies a scheduled event so it can be cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `handler` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, Handler handler);
+
+  /// Schedules `handler` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(Time delay, Handler handler);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op returning false.
+  bool cancel(EventId id);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Time of the next pending event, or kTimeInfinity when idle.
+  Time next_event_time() const;
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains. `max_events` guards against runaway
+  /// self-rescheduling loops; exceeding it is a logic error.
+  void run(std::uint64_t max_events = 50'000'000);
+
+  /// Runs events with time <= until; afterwards now() == max(now, until)
+  /// unless the queue drained earlier.
+  void run_until(Time until, std::uint64_t max_events = 50'000'000);
+
+  /// Total events executed over the simulator's lifetime.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the heap top.
+  void skim_cancelled() const;
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  // Handlers are stored out-of-heap so Entry stays trivially copyable.
+  mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace droute::sim

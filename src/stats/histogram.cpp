@@ -1,0 +1,63 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/result.h"
+
+namespace droute::stats {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DROUTE_CHECK(!bounds_.empty(), "histogram needs at least one bound");
+  DROUTE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must ascend");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double value) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  samples_.push_back(value);
+  sorted_ = false;
+  ++total_;
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::render(int width) const {
+  std::size_t max_count = 1;
+  for (std::size_t count : counts_) max_count = std::max(max_count, count);
+  std::ostringstream out;
+  double prev = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    char label[48];
+    if (i < bounds_.size()) {
+      std::snprintf(label, sizeof(label), "[%8.1f, %8.1f)", prev, bounds_[i]);
+      prev = bounds_[i];
+    } else {
+      std::snprintf(label, sizeof(label), "[%8.1f,      inf)", prev);
+    }
+    const auto bar = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+        width);
+    out << label << " " << std::string(static_cast<std::size_t>(bar), '#')
+        << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace droute::stats

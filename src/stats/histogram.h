@@ -1,0 +1,38 @@
+// Fixed-bound histogram with percentile estimation and ASCII rendering,
+// used by the workload benches to report transfer-time distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace droute::stats {
+
+class Histogram {
+ public:
+  /// `bounds` are the upper edges of each bin (ascending); values above the
+  /// last bound land in an implicit overflow bin.
+  explicit Histogram(std::vector<double> bounds);
+
+  void add(double value);
+
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t overflow() const { return counts_.back(); }
+
+  /// Exact percentile over all recorded samples (kept, not binned).
+  /// p in [0, 100]; returns 0 when empty.
+  double percentile(double p) const;
+
+  /// Bar-chart rendering, one line per bin.
+  std::string render(int width = 50) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;  // bounds_.size() + 1 (overflow)
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  std::size_t total_ = 0;
+};
+
+}  // namespace droute::stats

@@ -1,0 +1,35 @@
+// Error-bar overlap analysis — the paper's significance heuristic
+// (Sec III-B, Table IV): two routes whose mean +/- 1 stddev intervals
+// overlap are considered statistically indistinguishable, in which case the
+// conservative choice is the direct route ("unsure benefits of the detours").
+// Welch's t statistic is provided as a sharper extension.
+#pragma once
+
+#include <cstddef>
+
+namespace droute::stats {
+
+struct Interval {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  double low() const { return mean - stddev; }
+  double high() const { return mean + stddev; }
+};
+
+/// True when the two +/- 1 stddev error bars overlap (the paper's test).
+bool error_bars_overlap(const Interval& a, const Interval& b);
+
+/// True when `candidate` is faster than `baseline` by more than the overlap
+/// criterion allows: candidate.high() < baseline.low().
+bool clearly_faster(const Interval& candidate, const Interval& baseline);
+
+/// Welch's t statistic for unequal-variance comparison of two means.
+double welch_t(const Interval& a, std::size_t n_a, const Interval& b,
+               std::size_t n_b);
+
+/// Welch–Satterthwaite degrees of freedom.
+double welch_df(const Interval& a, std::size_t n_a, const Interval& b,
+                std::size_t n_b);
+
+}  // namespace droute::stats

@@ -1,0 +1,34 @@
+#include "stats/regression.h"
+
+#include "stats/descriptive.h"
+#include "util/result.h"
+
+namespace droute::stats {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  DROUTE_CHECK(xs.size() == ys.size(), "fit_linear: size mismatch");
+  LinearFit fit;
+  fit.points = xs.size();
+  if (xs.empty()) return fit;
+
+  const double mean_x = mean(xs);
+  const double mean_y = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    fit.intercept = mean_y;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace droute::stats

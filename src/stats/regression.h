@@ -1,0 +1,27 @@
+// Ordinary least squares for the affine route-cost model
+//     time = overhead + bytes / rate
+// fitted from probe observations (DetourPlanner). Exposes goodness-of-fit
+// so callers can detect routes whose cost is *not* affine in size — e.g.
+// Purdue's congested transit, where time grows superlinearly under load
+// (Table III's nonmonotonic column).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace droute::stats {
+
+struct LinearFit {
+  double slope = 0.0;       // seconds per byte
+  double intercept = 0.0;   // seconds
+  double r_squared = 0.0;   // 1 = perfect affine fit
+  std::size_t points = 0;
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+/// OLS over (x, y) pairs. Requires xs.size() == ys.size(). With fewer than
+/// two points, or zero x-variance, returns a flat fit through the mean.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace droute::stats

@@ -1,0 +1,77 @@
+#include "trace/route_monitor.h"
+
+#include <sstream>
+
+namespace droute::trace {
+
+void RouteMonitor::watch(net::NodeId src, net::NodeId dst) {
+  watched_.try_emplace({src, dst});
+}
+
+std::vector<RouteMonitor::ChangeEvent> RouteMonitor::snapshot() {
+  const int index = snapshots_++;
+  std::vector<ChangeEvent> changes;
+  for (auto& [pair, state] : watched_) {
+    auto traced = tracer_->trace(pair.first, pair.second);
+    std::optional<TracerouteResult> now;
+    if (traced.ok()) now = std::move(traced).value();
+
+    if (index > 0) {
+      ChangeEvent event;
+      event.src = pair.first;
+      event.dst = pair.second;
+      event.snapshot_index = index;
+      bool changed = false;
+      if (state.last.has_value() != now.has_value()) {
+        changed = true;
+        event.became_unreachable = state.last.has_value();
+        event.became_reachable = now.has_value();
+      } else if (state.last && now &&
+                 state.last->responsive_nodes() != now->responsive_nodes()) {
+        changed = true;
+        const RouteDiff diff = Tracer::diff(*state.last, *now);
+        event.divergence_point = diff.divergence_point;
+        event.old_only = diff.only_first;
+        event.new_only = diff.only_second;
+      }
+      if (changed) {
+        changes.push_back(event);
+        history_.push_back(std::move(event));
+      }
+    }
+    state.last = std::move(now);
+  }
+  return changes;
+}
+
+std::optional<std::vector<net::NodeId>> RouteMonitor::current_path(
+    net::NodeId src, net::NodeId dst) const {
+  const auto it = watched_.find({src, dst});
+  if (it == watched_.end() || !it->second.last) return std::nullopt;
+  return it->second.last->responsive_nodes();
+}
+
+std::string RouteMonitor::render_history() const {
+  std::ostringstream out;
+  for (const ChangeEvent& event : history_) {
+    out << "snapshot " << event.snapshot_index << ": "
+        << topo_->node(event.src).name << " -> "
+        << topo_->node(event.dst).name;
+    if (event.became_unreachable) {
+      out << " became UNREACHABLE";
+    } else if (event.became_reachable) {
+      out << " became reachable";
+    } else {
+      out << " re-routed";
+      if (event.divergence_point) {
+        out << " after " << topo_->node(*event.divergence_point).name;
+      }
+      out << " (-" << event.old_only.size() << " hops, +"
+          << event.new_only.size() << " hops)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace droute::trace

@@ -1,0 +1,67 @@
+// RouteMonitor — RouteViews-flavoured route-change tracking (Sec III-D
+// suggests routing-table monitoring "might assist in our understanding";
+// the paper stops at one-shot traceroute; we keep a history).
+//
+// Registered (src, dst) pairs are traced on every snapshot(); consecutive
+// snapshots are diffed and changes recorded with the divergence point, so
+// transient re-routes (the "dynamic bottlenecks" of the paper's future work)
+// become visible events instead of silent measurement noise.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/traceroute.h"
+
+namespace droute::trace {
+
+class RouteMonitor {
+ public:
+  RouteMonitor(const Tracer* tracer, const net::Topology* topo)
+      : tracer_(tracer), topo_(topo) {}
+
+  /// Starts tracking a pair. Duplicate registrations are ignored.
+  void watch(net::NodeId src, net::NodeId dst);
+
+  struct ChangeEvent {
+    net::NodeId src;
+    net::NodeId dst;
+    int snapshot_index = 0;            // snapshot that observed the change
+    std::optional<net::NodeId> divergence_point;
+    std::vector<net::NodeId> old_only;  // hops dropped from the path
+    std::vector<net::NodeId> new_only;  // hops added to the path
+    bool became_unreachable = false;
+    bool became_reachable = false;
+  };
+
+  /// Traces every watched pair; returns the changes relative to the previous
+  /// snapshot (empty on the first snapshot or when all routes are stable).
+  std::vector<ChangeEvent> snapshot();
+
+  /// Full change history across all snapshots.
+  const std::vector<ChangeEvent>& history() const { return history_; }
+
+  int snapshots_taken() const { return snapshots_; }
+
+  /// Latest known path for a pair (responsive hops), if reachable.
+  std::optional<std::vector<net::NodeId>> current_path(net::NodeId src,
+                                                       net::NodeId dst) const;
+
+  /// Human-readable log of the change history.
+  std::string render_history() const;
+
+ private:
+  struct PairState {
+    std::optional<TracerouteResult> last;  // nullopt = unreachable
+  };
+
+  const Tracer* tracer_;
+  const net::Topology* topo_;
+  std::map<std::pair<net::NodeId, net::NodeId>, PairState> watched_;
+  std::vector<ChangeEvent> history_;
+  int snapshots_ = 0;
+};
+
+}  // namespace droute::trace

@@ -1,0 +1,80 @@
+// Traceroute emulation over the simulated routing tables, reproducing the
+// Fig 5 / Fig 6 evidence: per-TTL hop discovery with RTTs, unresponsive
+// ("* * *") hops, and route diffing to find where two paths diverge (the
+// pacificwave-vs-peering observation of Sec III-A).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/routing.h"
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace droute::trace {
+
+struct Hop {
+  int ttl = 0;
+  net::NodeId node = net::kInvalidNode;
+  std::string name;       // empty when the hop is silent
+  std::string ip;         // dotted quad, empty when silent
+  double rtt_s = 0.0;     // round-trip to this hop
+  bool silent = false;    // renders as "* * *"
+};
+
+struct TracerouteResult {
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  std::vector<Hop> hops;
+
+  /// Classic traceroute text rendering (one line per TTL).
+  std::string render(const net::Topology& topo) const;
+
+  /// Node ids of responsive hops, in order (for diffing).
+  std::vector<net::NodeId> responsive_nodes() const;
+};
+
+/// Comparison of two traceroutes toward the same destination.
+struct RouteDiff {
+  std::vector<net::NodeId> shared_nodes;   // appear on both paths
+  std::vector<net::NodeId> only_first;
+  std::vector<net::NodeId> only_second;
+  /// Last shared node after which the paths diverge, if they do.
+  std::optional<net::NodeId> divergence_point;
+};
+
+class Tracer {
+ public:
+  Tracer(const net::Topology* topo, const net::RouteTable* routes)
+      : topo_(topo), routes_(routes) {}
+
+  /// Marks a node as ICMP-unresponsive; it shows as "* * *" in traces.
+  void set_silent(net::NodeId node) { silent_.insert(node); }
+
+  /// TTL-walks the current route from src to dst.
+  util::Result<TracerouteResult> trace(net::NodeId src, net::NodeId dst) const;
+
+  /// Diffs two traceroutes (typically two sources toward one destination).
+  static RouteDiff diff(const TracerouteResult& first,
+                        const TracerouteResult& second);
+
+  /// Forward/reverse path comparison between two nodes. Internet paths are
+  /// routinely asymmetric (policy differs per direction); this is what makes
+  /// detour choice direction-dependent (see bench_ext_download).
+  struct Asymmetry {
+    bool asymmetric = false;
+    std::vector<net::NodeId> forward_only;  // routers only on src->dst
+    std::vector<net::NodeId> reverse_only;  // routers only on dst->src
+  };
+  util::Result<Asymmetry> round_trip_asymmetry(net::NodeId src,
+                                               net::NodeId dst) const;
+
+ private:
+  const net::Topology* topo_;
+  const net::RouteTable* routes_;
+  std::set<net::NodeId> silent_;
+};
+
+}  // namespace droute::trace

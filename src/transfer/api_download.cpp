@@ -1,0 +1,129 @@
+#include "transfer/api_download.h"
+
+#include <vector>
+
+#include "cloud/provider.h"
+
+namespace droute::transfer {
+
+struct ApiDownloadEngine::Job {
+  net::NodeId client = net::kInvalidNode;
+  std::string name;
+  Callback done;
+  DownloadResult result;
+  cloud::StoredObject object;
+  std::vector<std::uint64_t> chunks;
+  std::size_t next_chunk = 0;
+  std::uint64_t offset = 0;
+  cloud::ChunkDigester digester;
+};
+
+ApiDownloadEngine::ApiDownloadEngine(net::Fabric* fabric,
+                                     cloud::StorageServer* server,
+                                     net::NodeId server_node)
+    : fabric_(fabric), server_(server), server_node_(server_node) {
+  DROUTE_CHECK(fabric_ && server_, "ApiDownloadEngine: null dependency");
+}
+
+void ApiDownloadEngine::fail(std::shared_ptr<Job> job, std::string error) {
+  job->result.success = false;
+  job->result.error = std::move(error);
+  job->result.end_time = fabric_->simulator()->now();
+  job->done(job->result);
+}
+
+void ApiDownloadEngine::download(net::NodeId client, const std::string& name,
+                                 Callback done, ApiDownloadOptions options) {
+  auto job = std::make_shared<Job>();
+  job->client = client;
+  job->name = name;
+  job->done = std::move(done);
+  job->result.start_time = fabric_->simulator()->now();
+
+  auto rtt = fabric_->rtt_s(client, server_node_);
+  if (!rtt.ok()) {
+    fail(job, "no route to provider: " + rtt.error().message);
+    return;
+  }
+  job->result.rtt_s = rtt.value();
+
+  double preamble_rtts = 1.0;  // metadata GET
+  if (options.oauth != nullptr) {
+    bool refreshed = false;
+    options.oauth->ensure_token(fabric_->simulator()->now(), &refreshed);
+    if (refreshed) preamble_rtts += 1.0;
+  }
+
+  auto object = server_->stat(name);
+  if (!object.ok()) {
+    fail(job, "metadata: " + object.error().message);
+    return;
+  }
+  job->object = object.value();
+  job->result.payload_bytes = job->object.size;
+
+  auto chunks = cloud::chunk_sizes(server_->profile(), job->object.size);
+  if (!chunks.ok()) {
+    fail(job, chunks.error().message);
+    return;
+  }
+  job->chunks = std::move(chunks).value();
+
+  fabric_->simulator()->schedule_in(preamble_rtts * job->result.rtt_s,
+                                    [this, job] { fetch_next_chunk(job); });
+}
+
+void ApiDownloadEngine::fetch_next_chunk(std::shared_ptr<Job> job) {
+  if (job->next_chunk == job->chunks.size()) {
+    // All ranges received: verify the digest chain against the committed
+    // object digest (same accumulation the upload produced).
+    const auto accumulated = job->digester.finish();
+    job->result.integrity_ok = accumulated == job->object.md5;
+    job->result.success = job->result.integrity_ok;
+    if (!job->result.integrity_ok) {
+      job->result.error = "download integrity check failed";
+    }
+    job->result.end_time = fabric_->simulator()->now();
+    job->done(job->result);
+    return;
+  }
+
+  const std::uint64_t chunk = job->chunks[job->next_chunk];
+  auto range = server_->read_range(job->name, job->offset, chunk);
+  if (!range.ok()) {
+    fail(job, "range request: " + range.error().message);
+    return;
+  }
+  const auto expected_digest = range.value();
+
+  net::FlowOptions flow_options;
+  flow_options.charge_slow_start = job->next_chunk == 0;
+  flow_options.label = "api-download-chunk";
+  const std::uint64_t wire =
+      chunk + server_->profile().per_chunk_header_bytes;
+
+  // Each ranged GET costs a request turnaround before the body streams.
+  fabric_->simulator()->schedule_in(
+      server_->profile().per_chunk_rtts * job->result.rtt_s,
+      [this, job, wire, chunk, expected_digest, flow_options] {
+        auto flow = fabric_->start_flow(
+            server_node_, job->client, wire,
+            [this, job, chunk, expected_digest](const net::FlowStats& stats) {
+              if (stats.outcome != net::FlowOutcome::kCompleted) {
+                fail(job, "download chunk flow failed");
+                return;
+              }
+              job->digester.add_chunk(expected_digest);
+              job->offset += chunk;
+              ++job->next_chunk;
+              ++job->result.chunks;
+              fetch_next_chunk(job);
+            },
+            flow_options);
+        if (!flow.ok()) {
+          fail(job, "download flow rejected: " + flow.error().message);
+        }
+      });
+}
+
+}  // namespace droute::transfer

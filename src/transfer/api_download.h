@@ -1,0 +1,58 @@
+// Direct cloud-storage download engine (the other half of Sec II's API
+// surface): metadata GET, then sequential ranged GETs of API-chunk-sized
+// byte ranges, with a client-side digest chain verified against the object's
+// committed digest.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cloud/oauth.h"
+#include "cloud/storage_server.h"
+#include "net/fabric.h"
+
+namespace droute::transfer {
+
+struct DownloadResult {
+  bool success = false;
+  std::string error;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::uint64_t payload_bytes = 0;
+  int chunks = 0;
+  double rtt_s = 0.0;
+  bool integrity_ok = false;
+
+  double duration_s() const { return end_time - start_time; }
+};
+
+struct ApiDownloadOptions {
+  cloud::OAuthSession* oauth = nullptr;
+};
+
+class ApiDownloadEngine {
+ public:
+  using Callback = std::function<void(const DownloadResult&)>;
+
+  ApiDownloadEngine(net::Fabric* fabric, cloud::StorageServer* server,
+                    net::NodeId server_node);
+
+  net::NodeId server_node() const { return server_node_; }
+  cloud::StorageServer* server() const { return server_; }
+
+  /// Fetches object `name` from the provider down to `client`.
+  void download(net::NodeId client, const std::string& name, Callback done,
+                ApiDownloadOptions options = {});
+
+ private:
+  struct Job;
+  void fetch_next_chunk(std::shared_ptr<Job> job);
+  void fail(std::shared_ptr<Job> job, std::string error);
+
+  net::Fabric* fabric_;
+  cloud::StorageServer* server_;
+  net::NodeId server_node_;
+};
+
+}  // namespace droute::transfer

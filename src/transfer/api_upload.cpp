@@ -1,0 +1,163 @@
+#include "transfer/api_upload.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace droute::transfer {
+
+struct ApiUploadEngine::Job {
+  net::NodeId client = net::kInvalidNode;
+  FileSpec file;
+  Callback done;
+  UploadResult result;
+  std::vector<std::uint64_t> chunks;
+  std::size_t next_chunk = 0;
+  std::uint64_t offset = 0;
+  int attempts_this_chunk = 0;
+  cloud::SessionId session = 0;
+  cloud::ChunkDigester digester;
+};
+
+// After this many consecutive 429s on one chunk the upload gives up (real
+// clients surface the error to the user at a similar depth).
+constexpr int kMaxThrottleRetries = 8;
+
+ApiUploadEngine::ApiUploadEngine(net::Fabric* fabric,
+                                 cloud::StorageServer* server,
+                                 net::NodeId server_node)
+    : fabric_(fabric), server_(server), server_node_(server_node) {
+  DROUTE_CHECK(fabric_ && server_, "ApiUploadEngine: null dependency");
+}
+
+void ApiUploadEngine::fail(std::shared_ptr<Job> job, std::string error) {
+  if (job->session != 0) server_->abandon(job->session);
+  job->result.success = false;
+  job->result.error = std::move(error);
+  job->result.end_time = fabric_->simulator()->now();
+  job->done(job->result);
+}
+
+void ApiUploadEngine::upload(net::NodeId client, const FileSpec& file,
+                             Callback done, ApiUploadOptions options) {
+  auto job = std::make_shared<Job>();
+  job->client = client;
+  job->file = file;
+  job->done = std::move(done);
+  job->result.start_time = fabric_->simulator()->now();
+  job->result.payload_bytes = file.bytes;
+
+  auto rtt = fabric_->rtt_s(client, server_node_);
+  if (!rtt.ok()) {
+    fail(job, "no route to provider: " + rtt.error().message);
+    return;
+  }
+  job->result.rtt_s = rtt.value();
+
+  auto chunks = cloud::chunk_sizes(server_->profile(), file.bytes);
+  if (!chunks.ok()) {
+    fail(job, chunks.error().message);
+    return;
+  }
+  job->chunks = std::move(chunks).value();
+
+  // OAuth: an expired token costs one token-endpoint round trip up front.
+  double preamble_rtts = server_->profile().session_init_rtts;
+  if (options.oauth != nullptr) {
+    bool refreshed = false;
+    options.oauth->ensure_token(fabric_->simulator()->now(), &refreshed);
+    job->result.token_refreshed = refreshed;
+    if (refreshed) preamble_rtts += 1.0;
+  }
+
+  auto session = server_->create_session(file.name, file.bytes, file.seed);
+  if (!session.ok()) {
+    fail(job, session.error().message);
+    return;
+  }
+  job->session = session.value();
+
+  fabric_->simulator()->schedule_in(
+      preamble_rtts * job->result.rtt_s,
+      [this, job] { send_next_chunk(job); });
+}
+
+void ApiUploadEngine::send_next_chunk(std::shared_ptr<Job> job) {
+  const cloud::ApiProfile& profile = server_->profile();
+  if (job->next_chunk == job->chunks.size()) {
+    // All chunks acked: finalize (commit) round trip, then report.
+    fabric_->simulator()->schedule_in(
+        profile.finalize_rtts * job->result.rtt_s, [this, job] {
+          auto object = server_->finalize(job->session,
+                                          job->digester.finish());
+          if (!object.ok()) {
+            job->session = 0;  // finalize consumed it
+            fail(job, object.error().message);
+            return;
+          }
+          job->result.success = true;
+          job->result.end_time = fabric_->simulator()->now();
+          job->done(job->result);
+        });
+    return;
+  }
+
+  const std::uint64_t chunk_bytes = job->chunks[job->next_chunk];
+  const std::uint64_t wire = chunk_bytes + profile.per_chunk_header_bytes;
+  net::FlowOptions flow_options;
+  // The HTTP connection persists across chunks; only the first chunk pays
+  // the slow-start ramp.
+  flow_options.charge_slow_start = job->next_chunk == 0;
+  flow_options.label = "api-chunk";
+
+  auto flow = fabric_->start_flow(
+      job->client, server_node_, wire,
+      [this, job](const net::FlowStats& stats) {
+        if (stats.outcome != net::FlowOutcome::kCompleted) {
+          fail(job, stats.outcome == net::FlowOutcome::kLinkFailed
+                        ? "link failed mid-chunk"
+                        : "chunk flow aborted");
+          return;
+        }
+        const std::uint64_t chunk_bytes = job->chunks[job->next_chunk];
+        const auto digest = job->file.chunk_digest(job->offset, chunk_bytes);
+        const auto status = server_->append_chunk(job->session, job->offset,
+                                                  chunk_bytes, digest);
+        if (!status.ok()) {
+          if (status.error().code == 429 &&
+              job->attempts_this_chunk < kMaxThrottleRetries) {
+            // Honour Retry-After with exponential backoff, then resend the
+            // same chunk (its bytes are wasted — the real cost of being
+            // throttled mid-upload).
+            const double backoff =
+                server_->profile().retry_after_s *
+                static_cast<double>(1 << job->attempts_this_chunk);
+            ++job->attempts_this_chunk;
+            ++job->result.throttle_retries;
+            fabric_->simulator()->schedule_in(
+                backoff, [this, job] { send_next_chunk(job); });
+            return;
+          }
+          fail(job, "append rejected: " + status.error().message);
+          return;
+        }
+        job->attempts_this_chunk = 0;
+        job->digester.add_chunk(digest);
+        job->result.wire_bytes += stats.bytes;
+        job->offset += chunk_bytes;
+        ++job->next_chunk;
+        ++job->result.chunks;
+        // Chunk ack turnaround before the next request is issued.
+        fabric_->simulator()->schedule_in(
+            server_->profile().per_chunk_rtts * job->result.rtt_s,
+            [this, job] { send_next_chunk(job); });
+      },
+      flow_options);
+  if (!flow.ok()) {
+    fail(job, "chunk flow rejected: " + flow.error().message);
+  }
+}
+
+}  // namespace droute::transfer

@@ -1,0 +1,64 @@
+// Direct cloud-storage upload engine: drives a provider's REST upload API
+// (session init, sequential chunk PUTs, finalize) over the simulated fabric,
+// updating the provider's StorageServer state machine as chunks land.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cloud/oauth.h"
+#include "cloud/provider.h"
+#include "cloud/storage_server.h"
+#include "net/fabric.h"
+#include "transfer/file_spec.h"
+
+namespace droute::transfer {
+
+struct UploadResult {
+  bool success = false;
+  std::string error;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;    // payload + HTTP overhead
+  int chunks = 0;
+  int throttle_retries = 0;        // chunk PUTs retried after HTTP 429
+  double rtt_s = 0.0;              // client<->server model RTT
+  bool token_refreshed = false;
+
+  double duration_s() const { return end_time - start_time; }
+};
+
+struct ApiUploadOptions {
+  /// OAuth session to authenticate with; nullptr skips auth modelling.
+  cloud::OAuthSession* oauth = nullptr;
+};
+
+/// Asynchronous engine bound to one provider front-end node.
+class ApiUploadEngine {
+ public:
+  using Callback = std::function<void(const UploadResult&)>;
+
+  ApiUploadEngine(net::Fabric* fabric, cloud::StorageServer* server,
+                  net::NodeId server_node);
+
+  net::NodeId server_node() const { return server_node_; }
+  cloud::StorageServer* server() const { return server_; }
+
+  /// Starts the upload; `done` fires exactly once (success or failure).
+  /// Failure cases: unroutable client, API/server rejections mid-stream.
+  void upload(net::NodeId client, const FileSpec& file, Callback done,
+              ApiUploadOptions options = {});
+
+ private:
+  struct Job;
+  void send_next_chunk(std::shared_ptr<Job> job);
+  void fail(std::shared_ptr<Job> job, std::string error);
+
+  net::Fabric* fabric_;
+  cloud::StorageServer* server_;
+  net::NodeId server_node_;
+};
+
+}  // namespace droute::transfer

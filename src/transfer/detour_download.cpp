@@ -1,0 +1,53 @@
+#include "transfer/detour_download.h"
+
+#include <memory>
+
+#include "transfer/file_spec.h"
+
+namespace droute::transfer {
+
+void DetourDownloadEngine::download(net::NodeId client,
+                                    net::NodeId intermediate,
+                                    const std::string& name, Callback done) {
+  auto result = std::make_shared<DownloadDetourResult>();
+  result->start_time = fabric_->simulator()->now();
+
+  api_->download(
+      intermediate, name,
+      [this, client, intermediate, name, done,
+       result](const DownloadResult& leg1) {
+        result->leg1_s = leg1.duration_s();
+        result->payload_bytes = leg1.payload_bytes;
+        if (!leg1.success) {
+          result->error = "download detour leg 1 (API): " + leg1.error;
+          result->end_time = fabric_->simulator()->now();
+          done(*result);
+          return;
+        }
+        // The DTN now holds the object; rsync it down to the client.
+        const auto object = api_->server()->stat(name);
+        if (!object.ok()) {
+          result->error = "download detour: object vanished";
+          result->end_time = fabric_->simulator()->now();
+          done(*result);
+          return;
+        }
+        FileSpec spec;
+        spec.name = name;
+        spec.bytes = object.value().size;
+        spec.seed = object.value().content_seed;
+        rsync_.push(intermediate, client, spec,
+                    [this, done, result](const RsyncResult& leg2) {
+                      result->leg2_s = leg2.duration_s();
+                      result->success = leg2.success;
+                      if (!leg2.success) {
+                        result->error =
+                            "download detour leg 2 (rsync): " + leg2.error;
+                      }
+                      result->end_time = fabric_->simulator()->now();
+                      done(*result);
+                    });
+      });
+}
+
+}  // namespace droute::transfer

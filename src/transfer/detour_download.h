@@ -1,0 +1,44 @@
+// Detoured download: provider -> intermediate DTN via the provider API,
+// then DTN -> client via rsync (the mirror image of the paper's upload
+// detour; the paper's clients both upload and download, Sec II).
+// Store-and-forward: total = leg1 + leg2.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "transfer/api_download.h"
+#include "transfer/rsync_engine.h"
+
+namespace droute::transfer {
+
+struct DownloadDetourResult {
+  bool success = false;
+  std::string error;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  double leg1_s = 0.0;  // provider -> intermediate (API)
+  double leg2_s = 0.0;  // intermediate -> client (rsync)
+  std::uint64_t payload_bytes = 0;
+
+  double duration_s() const { return end_time - start_time; }
+};
+
+class DetourDownloadEngine {
+ public:
+  using Callback = std::function<void(const DownloadDetourResult&)>;
+
+  DetourDownloadEngine(net::Fabric* fabric, ApiDownloadEngine* api)
+      : fabric_(fabric), api_(api), rsync_(fabric) {}
+
+  /// Fetches `name` to `client` via `intermediate`.
+  void download(net::NodeId client, net::NodeId intermediate,
+                const std::string& name, Callback done);
+
+ private:
+  net::Fabric* fabric_;
+  ApiDownloadEngine* api_;
+  RsyncEngine rsync_;
+};
+
+}  // namespace droute::transfer

@@ -1,0 +1,26 @@
+#include "transfer/file_spec.h"
+
+#include <cstdio>
+
+#include "cloud/content.h"
+
+namespace droute::transfer {
+
+rsyncx::Md5Digest FileSpec::chunk_digest(std::uint64_t offset,
+                                         std::uint64_t length) const {
+  return cloud::synthetic_range_digest(seed, offset, length);
+}
+
+FileSpec make_file_mb(std::uint64_t megabytes, std::uint64_t seed) {
+  FileSpec spec;
+  char name[48];
+  std::snprintf(name, sizeof(name), "random-%llumb-%016llx.bin",
+                static_cast<unsigned long long>(megabytes),
+                static_cast<unsigned long long>(seed));
+  spec.name = name;
+  spec.bytes = megabytes * 1000000ull;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace droute::transfer

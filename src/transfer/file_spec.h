@@ -1,0 +1,34 @@
+// FileSpec: a synthetic test file identified by (name, size, seed) without
+// materializing its bytes.
+//
+// Measurement campaigns move hundreds of 10-100 MB files; materializing and
+// MD5-ing them would dominate wall-clock time without adding fidelity. A
+// FileSpec instead derives each chunk's digest deterministically from
+// (seed, offset, length). The digests flow through the exact same
+// client/server integrity machinery as real content (order- and
+// completeness-sensitive), so protocol bugs still fail loudly; only the
+// byte-level hashing is elided. Tests that need real bytes use rsyncx
+// directly on materialized blobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rsyncx/md5.h"
+
+namespace droute::transfer {
+
+struct FileSpec {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t seed = 0;
+
+  /// Deterministic digest standing in for MD5(content[offset, offset+len)).
+  rsyncx::Md5Digest chunk_digest(std::uint64_t offset,
+                                 std::uint64_t length) const;
+};
+
+/// Convenience: the paper's "N MB binary file of random data".
+FileSpec make_file_mb(std::uint64_t megabytes, std::uint64_t seed);
+
+}  // namespace droute::transfer

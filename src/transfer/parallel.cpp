@@ -1,0 +1,77 @@
+#include "transfer/parallel.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/result.h"
+
+namespace droute::transfer {
+
+namespace {
+struct ParallelJob {
+  ParallelPushResult result;
+  ParallelPushEngine::Callback done;
+  int remaining = 0;
+  bool failed = false;
+  bool reported = false;  // `done` fires exactly once
+};
+}  // namespace
+
+void ParallelPushEngine::push(net::NodeId src, net::NodeId dst,
+                              const FileSpec& file, int streams,
+                              Callback done) {
+  DROUTE_CHECK(streams >= 1, "need at least one stream");
+  auto job = std::make_shared<ParallelJob>();
+  job->done = std::move(done);
+  job->result.start_time = fabric_->simulator()->now();
+  job->result.payload_bytes = file.bytes;
+  job->result.streams = streams;
+
+  const std::uint64_t effective_streams =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(streams),
+                              std::max<std::uint64_t>(1, file.bytes));
+  job->remaining = static_cast<int>(effective_streams);
+
+  const std::uint64_t stripe = file.bytes / effective_streams;
+  std::uint64_t offset = 0;
+  for (std::uint64_t i = 0; i < effective_streams; ++i) {
+    const std::uint64_t length =
+        i + 1 == effective_streams ? file.bytes - offset : stripe;
+    net::FlowOptions options;
+    options.charge_slow_start = true;  // every stream ramps independently
+    options.label = "parallel-stripe";
+    auto flow = fabric_->start_flow(
+        src, dst, std::max<std::uint64_t>(1, length),
+        [this, job](const net::FlowStats& stats) {
+          if (stats.outcome != net::FlowOutcome::kCompleted) {
+            job->failed = true;
+          }
+          job->result.slowest_stream_s =
+              std::max(job->result.slowest_stream_s, stats.duration_s());
+          if (--job->remaining == 0 && !job->reported) {
+            job->reported = true;
+            job->result.success = !job->failed;
+            if (job->failed) job->result.error = "stripe transfer failed";
+            job->result.end_time = fabric_->simulator()->now();
+            job->done(job->result);
+          }
+        },
+        options);
+    if (!flow.ok()) {
+      // Earlier stripes may already be in flight; report the failure once
+      // and let their completions no-op against `reported`.
+      job->failed = true;
+      if (!job->reported) {
+        job->reported = true;
+        job->result.success = false;
+        job->result.error = "stripe rejected: " + flow.error().message;
+        job->result.end_time = fabric_->simulator()->now();
+        job->done(job->result);
+      }
+      return;
+    }
+    offset += length;
+  }
+}
+
+}  // namespace droute::transfer

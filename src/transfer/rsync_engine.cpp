@@ -1,0 +1,136 @@
+#include "transfer/rsync_engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "rsyncx/signature.h"
+
+namespace droute::transfer {
+
+namespace {
+
+/// Wire/CPU accounting for a synthetic session with a given basis overlap,
+/// mirroring rsyncx::plan_session without materializing content.
+struct SyntheticPlan {
+  std::uint64_t forward_bytes;
+  std::uint64_t reverse_bytes;
+  double sender_cpu_s;
+  double receiver_cpu_s;
+};
+
+SyntheticPlan synthesize(std::uint64_t file_bytes, double overlap,
+                         const rsyncx::CpuModel& cpu) {
+  SyntheticPlan plan{};
+  const std::uint32_t block =
+      rsyncx::recommended_block_size(file_bytes);
+  const std::uint64_t basis_bytes =
+      overlap > 0.0 ? file_bytes : 0;  // basis exists only with overlap
+  const std::uint64_t basis_blocks =
+      basis_bytes == 0 ? 0 : (basis_bytes + block - 1) / block;
+
+  const auto literal_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(file_bytes) * (1.0 - overlap));
+  const std::uint64_t copied_blocks =
+      (file_bytes - literal_bytes) / block;
+
+  // Forward: delta header + literal payload + merged copy runs (~1 op each
+  // for long runs; charge conservatively one op per 64 copied blocks).
+  plan.forward_bytes = rsyncx::kSessionFramingBytes + 24 + 8 + literal_bytes +
+                       12 * (copied_blocks / 64 + (copied_blocks ? 1 : 0));
+  // Reverse: signature of the basis.
+  plan.reverse_bytes =
+      rsyncx::kSessionFramingBytes + 16 + basis_blocks * (4 + 16 + 4);
+
+  plan.sender_cpu_s =
+      static_cast<double>(file_bytes) / cpu.scan_bytes_per_s;
+  plan.receiver_cpu_s =
+      static_cast<double>(basis_bytes) / cpu.signature_bytes_per_s +
+      static_cast<double>(file_bytes) / cpu.patch_bytes_per_s;
+  return plan;
+}
+
+}  // namespace
+
+void RsyncEngine::push(net::NodeId src, net::NodeId dst, const FileSpec& file,
+                       Callback done, RsyncOptions options) {
+  auto result = std::make_shared<RsyncResult>();
+  result->start_time = fabric_->simulator()->now();
+  result->payload_bytes = file.bytes;
+
+  auto finish_error = [this, result, done](std::string error) {
+    result->success = false;
+    result->error = std::move(error);
+    result->end_time = fabric_->simulator()->now();
+    done(*result);
+  };
+
+  auto rtt = fabric_->rtt_s(src, dst);
+  if (!rtt.ok()) {
+    finish_error("no route to intermediate node: " + rtt.error().message);
+    return;
+  }
+  const double rtt_s = rtt.value();
+
+  DROUTE_CHECK(options.basis_overlap >= 0.0 && options.basis_overlap <= 1.0,
+               "basis_overlap must be in [0,1]");
+  const SyntheticPlan plan =
+      synthesize(file.bytes, options.basis_overlap, options.cpu);
+  result->forward_wire_bytes = plan.forward_bytes;
+  result->reverse_wire_bytes = plan.reverse_bytes;
+  result->cpu_s = plan.sender_cpu_s + plan.receiver_cpu_s;
+
+  // Handshake (greeting + option negotiation), then the receiver computes
+  // and ships the signature, then the delta flows forward, then a trailer
+  // round trip and the receiver's patch pass.
+  const double signature_cpu =
+      options.basis_overlap > 0.0
+          ? static_cast<double>(file.bytes) / options.cpu.signature_bytes_per_s
+          : 0.0;
+  const double patch_cpu = plan.receiver_cpu_s - signature_cpu;
+
+  fabric_->simulator()->schedule_in(2.0 * rtt_s + signature_cpu, [this, src,
+                                                                  dst, plan,
+                                                                  result, done,
+                                                                  rtt_s,
+                                                                  patch_cpu,
+                                                                  finish_error] {
+    net::FlowOptions sig_options;
+    sig_options.label = "rsync-signature";
+    auto sig_flow = fabric_->start_flow(
+        dst, src, std::max<std::uint64_t>(1, plan.reverse_bytes),
+        [this, src, dst, plan, result, done, rtt_s, patch_cpu,
+         finish_error](const net::FlowStats& sig_stats) {
+          if (sig_stats.outcome != net::FlowOutcome::kCompleted) {
+            finish_error("signature transfer failed");
+            return;
+          }
+          net::FlowOptions delta_options;
+          delta_options.label = "rsync-delta";
+          auto delta_flow = fabric_->start_flow(
+              src, dst, std::max<std::uint64_t>(1, plan.forward_bytes),
+              [this, result, done, rtt_s, patch_cpu,
+               finish_error](const net::FlowStats& delta_stats) {
+                if (delta_stats.outcome != net::FlowOutcome::kCompleted) {
+                  finish_error("delta transfer failed");
+                  return;
+                }
+                fabric_->simulator()->schedule_in(
+                    rtt_s + patch_cpu, [this, result, done] {
+                      result->success = true;
+                      result->end_time = fabric_->simulator()->now();
+                      done(*result);
+                    });
+              },
+              delta_options);
+          if (!delta_flow.ok()) {
+            finish_error("delta flow rejected: " + delta_flow.error().message);
+          }
+        },
+        sig_options);
+    if (!sig_flow.ok()) {
+      finish_error("signature flow rejected: " + sig_flow.error().message);
+    }
+  });
+}
+
+}  // namespace droute::transfer

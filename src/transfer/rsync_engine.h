@@ -1,0 +1,59 @@
+// rsync transfer engine: the client -> intermediate-DTN leg of a detour.
+//
+// Models the full rsync session shape over the fabric:
+//   handshake (2 RTT) -> receiver signature (reverse flow) -> sender delta
+//   (forward flow) -> trailer (1 RTT) + receiver patch CPU.
+// In the paper's benchmark configuration the DTN holds no basis file
+// (files are deleted before each run, Sec II), so the delta is one full-file
+// literal — asserted by tests, and exactly why the detour pays the full
+// payload cost on both legs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/fabric.h"
+#include "rsyncx/session.h"
+#include "transfer/file_spec.h"
+
+namespace droute::transfer {
+
+struct RsyncResult {
+  bool success = false;
+  std::string error;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t forward_wire_bytes = 0;
+  std::uint64_t reverse_wire_bytes = 0;
+  double cpu_s = 0.0;  // modelled endpoint compute charged to the timeline
+
+  double duration_s() const { return end_time - start_time; }
+};
+
+struct RsyncOptions {
+  /// Fraction of the file the receiver already holds unchanged (0 = the
+  /// paper's deleted-before-run case). Used by the delta ablation; the
+  /// engine scales literal bytes accordingly, mirroring what a real basis
+  /// with that overlap yields (validated against rsyncx on real blobs).
+  double basis_overlap = 0.0;
+  rsyncx::CpuModel cpu;
+};
+
+class RsyncEngine {
+ public:
+  using Callback = std::function<void(const RsyncResult&)>;
+
+  explicit RsyncEngine(net::Fabric* fabric) : fabric_(fabric) {}
+
+  /// Pushes `file` from `src` to `dst` (rsync "push" mode, as the paper's
+  /// user machine pushes to the intermediate node).
+  void push(net::NodeId src, net::NodeId dst, const FileSpec& file,
+            Callback done, RsyncOptions options = {});
+
+ private:
+  net::Fabric* fabric_;
+};
+
+}  // namespace droute::transfer

@@ -1,0 +1,31 @@
+// Byte-buffer helpers: the in-memory stand-in for the paper's `dd`-generated
+// random binary test files ("random data source", Sec II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace droute::util {
+
+using Blob = std::vector<std::uint8_t>;
+
+/// Random incompressible content of `size` bytes (deterministic per rng).
+inline Blob make_random_blob(Rng& rng, std::size_t size) {
+  Blob blob(size);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    const std::uint64_t word = rng.next_u64();
+    for (int b = 0; b < 8; ++b) {
+      blob[i + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  for (; i < size; ++i) {
+    blob[i] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  return blob;
+}
+
+}  // namespace droute::util

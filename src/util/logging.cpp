@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace droute::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kOff};
+std::once_flag g_env_once;
+std::mutex g_write_mutex;
+
+void init_from_env() {
+  if (const char* env = std::getenv("DROUTE_LOG")) {
+    g_threshold.store(parse_log_level(env));
+  } else {
+    g_threshold.store(LogLevel::kWarn);
+  }
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() {
+  std::call_once(g_env_once, init_from_env);
+  return g_threshold.load();
+}
+
+void set_log_threshold(LogLevel level) {
+  std::call_once(g_env_once, init_from_env);
+  g_threshold.store(level);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[droute %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace droute::util

@@ -1,0 +1,47 @@
+// Tiny leveled logger. Thread-safe, writes to stderr, off by default above
+// warning so tests and benches stay quiet unless DROUTE_LOG=debug is set.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace droute::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; unknown -> kWarn.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: DROUTE_LOG(kInfo) << "flow " << id << " done";
+#define DROUTE_LOG(level_suffix)                                            \
+  for (bool once = ::droute::util::log_threshold() <=                       \
+                   ::droute::util::LogLevel::level_suffix;                  \
+       once; once = false)                                                  \
+  ::droute::util::detail::LogLine(::droute::util::LogLevel::level_suffix)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace droute::util

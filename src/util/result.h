@@ -1,0 +1,99 @@
+// Minimal Result<T> / Status types (std::expected is C++23; we target C++20).
+//
+// Error handling policy for the library:
+//   * programming errors (violated preconditions)      -> assert / DROUTE_CHECK
+//   * recoverable runtime failures (bad input, refusal) -> Result<T> / Status
+//   * constructor failures                              -> factory functions
+//     returning Result<T>, never throwing constructors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace droute::util {
+
+/// A lightweight error: a message plus an optional machine-readable code.
+struct Error {
+  std::string message;
+  int code = 0;
+
+  static Error make(std::string msg, int code = 0) {
+    return Error{std::move(msg), code};
+  }
+};
+
+/// Result of an operation that produces a T or fails with an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(std::move(state_));
+  }
+
+  const Error& error() const {
+    assert(!ok() && "Result::error() on success");
+    return std::get<Error>(state_);
+  }
+
+  /// value() or `fallback` when failed.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result of an operation with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                       // success
+  Status(Error error) : error_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok() && "Status::error() on success");
+    return *error_;
+  }
+
+  static Status success() { return Status{}; }
+  static Status failure(std::string msg, int code = 0) {
+    return Status{Error{std::move(msg), code}};
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Hard invariant check that survives NDEBUG builds: these guard simulator
+/// conservation laws whose silent violation would invalidate every result.
+#define DROUTE_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw std::logic_error(std::string("DROUTE_CHECK failed: ") +     \
+                             (msg) + " [" #cond "]");                   \
+    }                                                                   \
+  } while (false)
+
+}  // namespace droute::util

@@ -1,0 +1,101 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace droute::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller, always using the cosine branch so each call consumes a fixed
+  // number of stream values (simplifies reasoning about reproducibility).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::pareto(double alpha, double lo, double hi) {
+  assert(alpha > 0 && lo > 0 && hi > lo);
+  // Inverse-CDF sampling of the bounded Pareto distribution.
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(1.0 / x, 1.0 / alpha);
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  assert(mean > 0 && cv >= 0);
+  if (cv == 0) return mean;
+  // If X ~ LogNormal(mu, sigma): E[X] = exp(mu + sigma^2/2),
+  // CV[X]^2 = exp(sigma^2) - 1.  Solve for (mu, sigma) from (mean, cv).
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+Rng Rng::fork(std::uint64_t salt) {
+  // Mix the salt into a fresh seed derived from this stream; forked streams
+  // are independent of subsequent draws from the parent.
+  SplitMix64 sm(next_u64() ^ (salt * 0x9e3779b97f4a7c15ull));
+  Rng child(0);
+  for (auto& word : child.s_) word = sm.next();
+  return child;
+}
+
+}  // namespace droute::util

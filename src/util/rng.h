@@ -1,0 +1,72 @@
+// Deterministic, platform-independent random number generation.
+//
+// Simulation results must be bit-identical across runs and platforms, so we
+// implement our own generators (SplitMix64 for seeding, xoshiro256** for the
+// stream) instead of relying on libstdc++ distribution internals, which the
+// standard leaves implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace droute::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Vigna, https://prng.di.unimi.it/splitmix64.c (public domain).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG.
+/// Reference: Blackman & Vigna, https://prng.di.unimi.it/xoshiro256starstar.c.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha — heavy-tailed flow sizes.
+  double pareto(double alpha, double lo, double hi);
+
+  /// Log-normal parameterized by the mean/cv of the *resulting* distribution,
+  /// which is the natural way to specify noisy WAN transfer-time multipliers.
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Derive an independent child stream (e.g. one per simulation run).
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace droute::util

@@ -1,0 +1,79 @@
+#include "wire/client.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rsyncx/md5.h"
+#include "wire/rate_limiter.h"
+#include "wire/socket.h"
+
+namespace droute::wire {
+
+namespace {
+
+constexpr std::size_t kIoChunk = 256 * 1024;
+
+util::Result<WireTiming> run_upload(Stream stream,
+                                    std::span<const std::uint8_t> data,
+                                    double out_rate_bytes_per_s) {
+  RateLimiter limiter(out_rate_bytes_per_s);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t take = std::min(kIoChunk, data.size() - offset);
+    limiter.acquire(take);
+    if (auto status = stream.send_all(data.subspan(offset, take));
+        !status.ok()) {
+      return util::Error{status.error()};
+    }
+    offset += take;
+  }
+
+  rsyncx::Md5Digest digest;
+  if (auto status = stream.recv_all(digest); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  WireTiming timing;
+  timing.seconds = std::chrono::duration<double>(end - start).count();
+  timing.mbytes_per_s =
+      timing.seconds > 0.0
+          ? static_cast<double>(data.size()) / 1e6 / timing.seconds
+          : 0.0;
+  timing.digest_ok = digest == rsyncx::Md5::hash(data);
+  return timing;
+}
+
+}  // namespace
+
+util::Result<WireTiming> upload_direct(std::uint16_t sink_port,
+                                       std::span<const std::uint8_t> data,
+                                       double out_rate_bytes_per_s) {
+  auto stream = connect_local(sink_port);
+  if (!stream.ok()) return util::Error{stream.error()};
+  Stream conn = std::move(stream).value();
+  if (auto status = conn.send_u64(data.size()); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  return run_upload(std::move(conn), data, out_rate_bytes_per_s);
+}
+
+util::Result<WireTiming> upload_via_relay(std::uint16_t relay_port,
+                                          std::uint16_t sink_port,
+                                          std::span<const std::uint8_t> data,
+                                          double out_rate_bytes_per_s) {
+  auto stream = connect_local(relay_port);
+  if (!stream.ok()) return util::Error{stream.error()};
+  Stream conn = std::move(stream).value();
+  if (auto status = conn.send_u64(sink_port); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  if (auto status = conn.send_u64(data.size()); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  return run_upload(std::move(conn), data, out_rate_bytes_per_s);
+}
+
+}  // namespace droute::wire

@@ -1,0 +1,32 @@
+// Wire client: uploads a buffer to a sink either directly or via a relay,
+// verifying the returned digest. Returns wall-clock timings — this is the
+// real-socket counterpart of scenario::World::run_upload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/result.h"
+
+namespace droute::wire {
+
+struct WireTiming {
+  double seconds = 0.0;
+  double mbytes_per_s = 0.0;
+  bool digest_ok = false;
+};
+
+/// Uploads `data` to the sink at `sink_port` (direct path). The outbound
+/// rate limit emulates a policed first hop (<= 0 unlimited).
+util::Result<WireTiming> upload_direct(std::uint16_t sink_port,
+                                       std::span<const std::uint8_t> data,
+                                       double out_rate_bytes_per_s = 0.0);
+
+/// Uploads `data` to `sink_port` via the relay at `relay_port`.
+util::Result<WireTiming> upload_via_relay(std::uint16_t relay_port,
+                                          std::uint16_t sink_port,
+                                          std::span<const std::uint8_t> data,
+                                          double out_rate_bytes_per_s = 0.0);
+
+}  // namespace droute::wire

@@ -1,0 +1,50 @@
+#include "wire/rate_limiter.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace droute::wire {
+
+RateLimiter::RateLimiter(double rate_bytes_per_s, std::uint64_t burst_bytes)
+    : rate_(rate_bytes_per_s),
+      burst_(burst_bytes > 0
+                 ? static_cast<double>(burst_bytes)
+                 : std::max(65536.0, rate_bytes_per_s / 8.0)),
+      tokens_(burst_),
+      last_refill_(Clock::now()) {}
+
+void RateLimiter::refill_locked(Clock::time_point now) {
+  const std::chrono::duration<double> dt = now - last_refill_;
+  tokens_ = std::min(burst_, tokens_ + dt.count() * rate_);
+  last_refill_ = now;
+}
+
+void RateLimiter::acquire(std::uint64_t bytes) {
+  if (unlimited()) return;
+  // Debt-based bucket: charge immediately (the bucket may go negative —
+  // buffers larger than the bucket depth are legal) and sleep until the
+  // refill stream pays the debt off. Sustained rate equals `rate_`
+  // regardless of buffer size; bursts are bounded by `burst_`.
+  std::chrono::nanoseconds wait{0};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refill_locked(Clock::now());
+    tokens_ -= static_cast<double>(bytes);
+    if (tokens_ >= 0.0) return;
+    wait = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(-tokens_ / rate_ * 1e9));
+  }
+  std::this_thread::sleep_for(wait);
+}
+
+std::chrono::nanoseconds RateLimiter::peek_delay(std::uint64_t bytes) {
+  if (unlimited()) return std::chrono::nanoseconds(0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(Clock::now());
+  const double need = static_cast<double>(bytes);
+  if (tokens_ >= need) return std::chrono::nanoseconds(0);
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>((need - tokens_) / rate_ * 1e9));
+}
+
+}  // namespace droute::wire

@@ -1,0 +1,43 @@
+// Token-bucket rate limiter for the real-socket data plane.
+//
+// Emulates path policing on loopback: a writer acquires tokens for each
+// buffer and sleeps out any deficit, producing a sustained byte rate equal
+// to the configured rate regardless of buffer sizes (burst capacity bounds
+// short-term excess).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace droute::wire {
+
+class RateLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate_bytes_per_s` <= 0 disables limiting. `burst_bytes` is the bucket
+  /// depth (default: 1/8 second worth of tokens, min 64 KiB).
+  explicit RateLimiter(double rate_bytes_per_s, std::uint64_t burst_bytes = 0);
+
+  /// Blocks (sleeps) until `bytes` tokens are available, then consumes them.
+  /// Thread-safe.
+  void acquire(std::uint64_t bytes);
+
+  /// Duration `bytes` would have to wait right now, without consuming.
+  std::chrono::nanoseconds peek_delay(std::uint64_t bytes);
+
+  double rate_bytes_per_s() const { return rate_; }
+  bool unlimited() const { return rate_ <= 0.0; }
+
+ private:
+  void refill_locked(Clock::time_point now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_refill_;
+  std::mutex mutex_;
+};
+
+}  // namespace droute::wire

@@ -1,0 +1,104 @@
+#include "wire/relay.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace droute::wire {
+
+namespace {
+constexpr std::size_t kIoChunk = 256 * 1024;
+}
+
+RelayDaemon::~RelayDaemon() { stop(); }
+
+util::Result<std::uint16_t> RelayDaemon::start() {
+  auto listener = Listener::bind(0);
+  if (!listener.ok()) return util::Error{listener.error()};
+  listener_ = std::make_unique<Listener>(std::move(listener).value());
+  ingress_limiter_ =
+      std::make_unique<RateLimiter>(options_.ingress_rate_bytes_per_s);
+  egress_limiter_ =
+      std::make_unique<RateLimiter>(options_.egress_rate_bytes_per_s);
+  const std::uint16_t port = listener_->port();
+  thread_ = std::thread([this] { serve(); });
+  return port;
+}
+
+void RelayDaemon::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listener_) listener_->shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RelayDaemon::serve() {
+  while (!stopping_.load()) {
+    auto stream = listener_->accept();
+    if (!stream.ok()) return;
+    handle(std::move(stream).value());
+  }
+}
+
+void RelayDaemon::handle(Stream client) {
+  auto dest_port = client.recv_u64();
+  if (!dest_port.ok()) return;
+  auto len = client.recv_u64();
+  if (!len.ok()) return;
+
+  auto upstream =
+      connect_local(static_cast<std::uint16_t>(dest_port.value()));
+  if (!upstream.ok()) {
+    DROUTE_LOG(kWarn) << "relay: upstream connect failed: "
+                      << upstream.error().message;
+    return;
+  }
+  Stream sink = std::move(upstream).value();
+  if (!sink.send_u64(len.value()).ok()) return;
+
+  std::vector<std::uint8_t> buffer(kIoChunk);
+  if (options_.mode == RelayMode::kStoreAndForward) {
+    // Receive the complete object first (the rsync-to-DTN leg)...
+    std::vector<std::uint8_t> object(len.value());
+    std::uint64_t offset = 0;
+    while (offset < len.value()) {
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kIoChunk, len.value() - offset));
+      ingress_limiter_->acquire(take);
+      if (!client.recv_all(std::span(object.data() + offset, take)).ok()) {
+        return;
+      }
+      offset += take;
+    }
+    // ...then upload it (the DTN-to-provider leg).
+    offset = 0;
+    while (offset < object.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(kIoChunk, object.size() - offset);
+      egress_limiter_->acquire(take);
+      if (!sink.send_all(std::span(object.data() + offset, take)).ok()) {
+        return;
+      }
+      offset += take;
+    }
+  } else {
+    // Cut-through streaming: each chunk is forwarded as soon as received.
+    std::uint64_t remaining = len.value();
+    while (remaining > 0) {
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kIoChunk, remaining));
+      ingress_limiter_->acquire(take);
+      if (!client.recv_all(std::span(buffer.data(), take)).ok()) return;
+      egress_limiter_->acquire(take);
+      if (!sink.send_all(std::span(buffer.data(), take)).ok()) return;
+      remaining -= take;
+    }
+  }
+
+  std::uint8_t digest[16];
+  if (!sink.recv_all(digest).ok()) return;
+  if (!client.send_all(digest).ok()) return;
+  objects_relayed_.fetch_add(1);
+}
+
+}  // namespace droute::wire

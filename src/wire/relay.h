@@ -1,0 +1,62 @@
+// RelayDaemon: the DTN of the wire data plane.
+//
+// Protocol: client sends <dest_port:u64><len:u64> then `len` bytes; the
+// relay forwards to 127.0.0.1:dest_port with the sink protocol and pipes the
+// sink's 16-byte digest back to the client.
+//
+// Two forwarding modes mirror transfer::DetourMode:
+//   * store-and-forward — buffer the whole object, then upload (the paper);
+//   * streaming         — cut-through piping in fixed chunks (our pipelined
+//                         extension).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "util/result.h"
+#include "wire/rate_limiter.h"
+#include "wire/socket.h"
+
+namespace droute::wire {
+
+enum class RelayMode { kStoreAndForward, kStreaming };
+
+class RelayDaemon {
+ public:
+  struct Options {
+    RelayMode mode = RelayMode::kStoreAndForward;
+    /// Ingress rate limit on the client->relay leg (<= 0 unlimited).
+    double ingress_rate_bytes_per_s = 0.0;
+    /// Egress rate limit on the relay->sink leg (<= 0 unlimited).
+    double egress_rate_bytes_per_s = 0.0;
+  };
+
+  RelayDaemon() : options_(Options{}) {}
+  explicit RelayDaemon(Options options) : options_(options) {}
+  ~RelayDaemon();
+  RelayDaemon(const RelayDaemon&) = delete;
+  RelayDaemon& operator=(const RelayDaemon&) = delete;
+
+  /// Binds and spawns the service thread; returns the relay port.
+  util::Result<std::uint16_t> start();
+
+  void stop();
+
+  std::uint64_t objects_relayed() const { return objects_relayed_.load(); }
+
+ private:
+  void serve();
+  void handle(Stream client);
+
+  Options options_;
+  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<RateLimiter> ingress_limiter_;
+  std::unique_ptr<RateLimiter> egress_limiter_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> objects_relayed_{0};
+};
+
+}  // namespace droute::wire

@@ -1,0 +1,180 @@
+#include "wire/rsync_pipe.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rsyncx/md5.h"
+#include "rsyncx/patch.h"
+#include "rsyncx/session.h"
+#include "rsyncx/wire_format.h"
+#include "util/logging.h"
+
+namespace droute::wire {
+
+namespace {
+constexpr std::uint64_t kMaxName = 4096;
+constexpr std::uint64_t kMaxPayload = 1ull << 32;  // 4 GiB sanity bound
+
+util::Result<util::Blob> recv_framed(Stream& stream, std::uint64_t max_len) {
+  auto len = stream.recv_u64();
+  if (!len.ok()) return util::Error{len.error()};
+  if (len.value() > max_len) {
+    return util::Error::make("framed message exceeds sanity bound");
+  }
+  util::Blob data(len.value());
+  if (auto status = stream.recv_all(data); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  return data;
+}
+
+util::Status send_framed(Stream& stream, std::span<const std::uint8_t> data,
+                         RateLimiter* limiter = nullptr) {
+  if (auto status = stream.send_u64(data.size()); !status.ok()) return status;
+  constexpr std::size_t kIoChunk = 256 * 1024;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t take = std::min(kIoChunk, data.size() - offset);
+    if (limiter != nullptr) limiter->acquire(take);
+    if (auto status = stream.send_all(data.subspan(offset, take));
+        !status.ok()) {
+      return status;
+    }
+    offset += take;
+  }
+  return util::Status::success();
+}
+}  // namespace
+
+RsyncServer::~RsyncServer() { stop(); }
+
+util::Result<std::uint16_t> RsyncServer::start() {
+  auto listener = Listener::bind(0);
+  if (!listener.ok()) return util::Error{listener.error()};
+  listener_ = std::make_unique<Listener>(std::move(listener).value());
+  const std::uint16_t port = listener_->port();
+  thread_ = std::thread([this] { serve(); });
+  return port;
+}
+
+void RsyncServer::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listener_) listener_->shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RsyncServer::preload(const std::string& name, util::Blob content) {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  store_[name] = std::move(content);
+}
+
+std::optional<util::Blob> RsyncServer::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  auto it = store_.find(name);
+  if (it == store_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RsyncServer::serve() {
+  while (!stopping_.load()) {
+    auto stream = listener_->accept();
+    if (!stream.ok()) return;
+    handle(std::move(stream).value());
+  }
+}
+
+void RsyncServer::handle(Stream client) {
+  auto name_blob = recv_framed(client, kMaxName);
+  if (!name_blob.ok()) return;
+  const std::string name(name_blob.value().begin(), name_blob.value().end());
+  auto target_size = client.recv_u64();
+  if (!target_size.ok() || target_size.value() > kMaxPayload) return;
+
+  // Signature of our basis (empty signature when we hold nothing).
+  util::Blob basis;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    auto it = store_.find(name);
+    if (it != store_.end()) basis = it->second;
+  }
+  rsyncx::Signature sig;
+  const std::uint32_t block =
+      rsyncx::recommended_block_size(basis.empty() ? target_size.value()
+                                                   : basis.size());
+  if (!basis.empty()) {
+    sig = rsyncx::compute_signature(basis, block);
+  } else {
+    sig.block_size = block;
+    sig.basis_size = 0;
+  }
+  if (!send_framed(client, rsyncx::encode_signature(sig)).ok()) return;
+
+  auto delta_blob = recv_framed(client, kMaxPayload);
+  if (!delta_blob.ok()) return;
+  auto delta = rsyncx::decode_delta(delta_blob.value());
+  if (!delta.ok()) {
+    DROUTE_LOG(kWarn) << "rsync server: bad delta: " << delta.error().message;
+    return;  // drop the connection; the client sees a short read
+  }
+  auto rebuilt = rsyncx::apply_delta(basis, delta.value());
+  if (!rebuilt.ok()) {
+    DROUTE_LOG(kWarn) << "rsync server: patch failed: "
+                      << rebuilt.error().message;
+    return;
+  }
+  const rsyncx::Md5Digest digest = rsyncx::Md5::hash(rebuilt.value());
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    store_[name] = std::move(rebuilt).value();
+  }
+  if (!client.send_all(digest).ok()) return;
+  pushes_served_.fetch_add(1);
+}
+
+util::Result<RsyncPushStats> rsync_push(std::uint16_t port,
+                                        const std::string& name,
+                                        std::span<const std::uint8_t> data,
+                                        double out_rate_bytes_per_s) {
+  const auto start = std::chrono::steady_clock::now();
+  auto stream = connect_local(port);
+  if (!stream.ok()) return util::Error{stream.error()};
+  Stream conn = std::move(stream).value();
+
+  const util::Blob name_bytes(name.begin(), name.end());
+  if (auto status = send_framed(conn, name_bytes); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  if (auto status = conn.send_u64(data.size()); !status.ok()) {
+    return util::Error{status.error()};
+  }
+
+  auto sig_blob = recv_framed(conn, kMaxPayload);
+  if (!sig_blob.ok()) return util::Error{sig_blob.error()};
+  auto sig = rsyncx::decode_signature(sig_blob.value());
+  if (!sig.ok()) return util::Error{sig.error()};
+
+  const rsyncx::SignatureIndex index(sig.value());
+  const rsyncx::Delta delta = rsyncx::compute_delta(data, index);
+  const util::Blob delta_bytes = rsyncx::encode_delta(delta);
+  RateLimiter limiter(out_rate_bytes_per_s);
+  if (auto status = send_framed(conn, delta_bytes,
+                                limiter.unlimited() ? nullptr : &limiter);
+      !status.ok()) {
+    return util::Error{status.error()};
+  }
+
+  rsyncx::Md5Digest digest;
+  if (auto status = conn.recv_all(digest); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  RsyncPushStats stats;
+  stats.seconds = std::chrono::duration<double>(end - start).count();
+  stats.signature_bytes = sig_blob.value().size();
+  stats.delta_bytes = delta_bytes.size();
+  stats.digest_ok = digest == rsyncx::Md5::hash(data);
+  return stats;
+}
+
+}  // namespace droute::wire

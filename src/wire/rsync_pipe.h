@@ -1,0 +1,74 @@
+// Real rsync push over TCP: the client -> DTN leg of the detour as an
+// actually-running protocol, using rsyncx's signature/delta/patch machinery
+// and the wire_format encoding.
+//
+// Protocol (little-endian framing):
+//   client -> server : name_len u64 | name | target_size u64
+//   server -> client : sig_len u64 | encoded Signature (of server's basis,
+//                      empty signature when it holds no basis)
+//   client -> server : delta_len u64 | encoded Delta
+//   server -> client : MD5 of the reconstructed file (16 bytes)
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "util/blob.h"
+#include "util/result.h"
+#include "wire/rate_limiter.h"
+#include "wire/socket.h"
+
+namespace droute::wire {
+
+/// The DTN side: an in-memory file store behind an rsync receiver.
+class RsyncServer {
+ public:
+  RsyncServer() = default;
+  ~RsyncServer();
+  RsyncServer(const RsyncServer&) = delete;
+  RsyncServer& operator=(const RsyncServer&) = delete;
+
+  /// Binds and spawns the service thread; returns the port.
+  util::Result<std::uint16_t> start();
+  void stop();
+
+  /// Seeds a (possibly stale) basis file, as a persistent DTN cache would.
+  void preload(const std::string& name, util::Blob content);
+
+  /// Reads back a stored file (for verification).
+  std::optional<util::Blob> lookup(const std::string& name) const;
+
+  std::uint64_t pushes_served() const { return pushes_served_.load(); }
+
+ private:
+  void serve();
+  void handle(Stream client);
+
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> pushes_served_{0};
+  mutable std::mutex store_mutex_;
+  std::map<std::string, util::Blob> store_;
+};
+
+struct RsyncPushStats {
+  double seconds = 0.0;
+  std::uint64_t signature_bytes = 0;  // received from the server
+  std::uint64_t delta_bytes = 0;      // sent to the server
+  bool digest_ok = false;
+};
+
+/// Pushes `data` as `name` to the RsyncServer at `port`. `out_rate` throttles
+/// the delta upload (<= 0 unlimited).
+util::Result<RsyncPushStats> rsync_push(std::uint16_t port,
+                                        const std::string& name,
+                                        std::span<const std::uint8_t> data,
+                                        double out_rate_bytes_per_s = 0.0);
+
+}  // namespace droute::wire

@@ -1,0 +1,57 @@
+// Sink: the loopback stand-in for a cloud-storage front end.
+//
+// Protocol (little-endian framing): client sends <len:u64> then `len` bytes;
+// the sink replies with the 16-byte MD5 of what it received. A sink exposes
+// several listeners, each with its own ingress rate limit — this is how the
+// demo reproduces path-dependent throughput to one logical server: the
+// "policed path" port drains slowly, the "peering path" port drains fast.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/result.h"
+#include "wire/rate_limiter.h"
+#include "wire/socket.h"
+
+namespace droute::wire {
+
+class Sink {
+ public:
+  Sink() = default;
+  ~Sink();
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  /// Adds a listener with the given ingress rate (bytes/s; <= 0 unlimited).
+  /// Returns the bound port. Call before start().
+  util::Result<std::uint16_t> add_ingress(double rate_bytes_per_s);
+
+  /// Spawns one service thread per listener.
+  util::Status start();
+
+  /// Stops all listeners and joins threads (idempotent).
+  void stop();
+
+  std::uint64_t objects_received() const { return objects_received_.load(); }
+  std::uint64_t bytes_received() const { return bytes_received_.load(); }
+
+ private:
+  struct Ingress {
+    std::unique_ptr<Listener> listener;
+    std::unique_ptr<RateLimiter> limiter;
+    std::thread thread;
+  };
+  void serve(Ingress* ingress);
+
+  std::vector<std::unique_ptr<Ingress>> ingresses_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> objects_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  bool started_ = false;
+};
+
+}  // namespace droute::wire

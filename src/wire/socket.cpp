@@ -1,0 +1,138 @@
+#include "wire/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace droute::wire {
+
+namespace {
+util::Error errno_error(const std::string& what) {
+  return util::Error::make(what + ": " + std::strerror(errno), errno);
+}
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status Stream::send_all(std::span<const std::uint8_t> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status{errno_error("send")};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return util::Status::success();
+}
+
+util::Status Stream::recv_all(std::span<std::uint8_t> out) {
+  std::size_t received = 0;
+  while (received < out.size()) {
+    const ssize_t n =
+        ::recv(fd_.get(), out.data() + received, out.size() - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status{errno_error("recv")};
+    }
+    if (n == 0) {
+      return util::Status::failure("connection closed mid-message");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return util::Status::success();
+}
+
+util::Status Stream::send_u64(std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return send_all(buf);
+}
+
+util::Result<std::uint64_t> Stream::recv_u64() {
+  std::uint8_t buf[8];
+  if (auto status = recv_all(buf); !status.ok()) {
+    return util::Error{status.error()};
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  return value;
+}
+
+util::Result<Listener> Listener::bind(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return errno_error("bind");
+  }
+  if (::listen(fd.get(), 16) < 0) return errno_error("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return errno_error("getsockname");
+  }
+  return Listener(std::move(fd), ntohs(addr.sin_port));
+}
+
+util::Result<Stream> Listener::accept() {
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) return errno_error("accept");
+  return Stream(Fd(client));
+}
+
+void Listener::shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  fd_.reset();
+}
+
+util::Result<Stream> connect_local(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return errno_error("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Stream(std::move(fd));
+}
+
+}  // namespace droute::wire

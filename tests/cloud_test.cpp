@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "cloud/oauth.h"
+#include "cloud/provider.h"
+#include "cloud/storage_server.h"
+#include "util/units.h"
+
+namespace droute::cloud {
+namespace {
+
+// ---------------------------------------------------------------- provider ----
+
+TEST(Provider, NamesAndCatalogue) {
+  EXPECT_EQ(all_providers().size(), 3u);
+  EXPECT_EQ(provider_name(ProviderKind::kGoogleDrive), "Google Drive");
+  EXPECT_EQ(provider_name(ProviderKind::kDropbox), "Dropbox");
+  EXPECT_EQ(provider_name(ProviderKind::kOneDrive), "OneDrive");
+}
+
+TEST(Provider, ProfilesMatchRealApiShapes) {
+  EXPECT_EQ(default_profile(ProviderKind::kGoogleDrive).chunk_bytes,
+            8ull * util::kMiB);
+  EXPECT_EQ(default_profile(ProviderKind::kOneDrive).chunk_bytes,
+            10ull * util::kMiB);
+  EXPECT_EQ(default_profile(ProviderKind::kOneDrive).chunk_alignment_bytes,
+            320ull * util::kKiB);
+  // Dropbox's commit costs an extra round trip.
+  EXPECT_GT(default_profile(ProviderKind::kDropbox).finalize_rtts,
+            default_profile(ProviderKind::kGoogleDrive).finalize_rtts);
+}
+
+TEST(Provider, ChunkSizesCoverFileExactly) {
+  for (ProviderKind kind : all_providers()) {
+    const ApiProfile profile = default_profile(kind);
+    for (std::uint64_t size :
+         {std::uint64_t{1}, profile.chunk_bytes - 1, profile.chunk_bytes,
+          profile.chunk_bytes + 1, 100 * util::kMB}) {
+      auto chunks = chunk_sizes(profile, size);
+      ASSERT_TRUE(chunks.ok());
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < chunks.value().size(); ++i) {
+        total += chunks.value()[i];
+        if (i + 1 < chunks.value().size()) {
+          EXPECT_EQ(chunks.value()[i], profile.chunk_bytes);
+        }
+      }
+      EXPECT_EQ(total, size);
+    }
+  }
+}
+
+TEST(Provider, ZeroByteUploadRejected) {
+  EXPECT_FALSE(
+      chunk_sizes(default_profile(ProviderKind::kDropbox), 0).ok());
+}
+
+TEST(Provider, RttUnitsGrowWithFileSize) {
+  const ApiProfile profile = default_profile(ProviderKind::kGoogleDrive);
+  EXPECT_LT(total_rtt_units(profile, util::kMB),
+            total_rtt_units(profile, 100 * util::kMB));
+  // 100 MB (decimal) / 8 MiB chunks = 11 full + 1 tail = 12 chunks.
+  const auto n_chunks =
+      static_cast<double>(chunk_sizes(profile, 100 * util::kMB).value().size());
+  EXPECT_DOUBLE_EQ(n_chunks, 12.0);
+  EXPECT_DOUBLE_EQ(total_rtt_units(profile, 100 * util::kMB),
+                   profile.session_init_rtts +
+                       n_chunks * profile.per_chunk_rtts +
+                       profile.finalize_rtts);
+}
+
+// ------------------------------------------------------------------ oauth ----
+
+TEST(OAuth, TokenRefreshOnlyWhenExpired) {
+  OAuthSession session("client-1", 3600.0, 42);
+  bool refreshed = false;
+  const AccessToken token1 = session.ensure_token(0.0, &refreshed);
+  EXPECT_TRUE(refreshed);  // first use mints a token
+  const AccessToken token2 = session.ensure_token(100.0, &refreshed);
+  EXPECT_FALSE(refreshed);
+  EXPECT_EQ(token1.value, token2.value);
+  const AccessToken token3 = session.ensure_token(3700.0, &refreshed);
+  EXPECT_TRUE(refreshed);
+  EXPECT_NE(token1.value, token3.value);
+  EXPECT_EQ(session.refresh_count(), 2u);
+}
+
+TEST(OAuth, ServerValidatesBearerTokens) {
+  OAuthSession session("client-2", 100.0, 7);
+  const AccessToken token = session.ensure_token(0.0);
+  EXPECT_TRUE(session.validate(token, 50.0).ok());
+  EXPECT_FALSE(session.validate(token, 150.0).ok());  // expired
+  AccessToken forged = token;
+  forged.value = "ya29.forged";
+  const auto status = session.validate(forged, 50.0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, 401);
+}
+
+// ---------------------------------------------------------- storage server ----
+
+class StorageServerTest : public ::testing::Test {
+ protected:
+  StorageServerTest()
+      : server_(ProviderKind::kGoogleDrive,
+                default_profile(ProviderKind::kGoogleDrive)) {}
+
+  rsyncx::Md5Digest digest_of(std::uint64_t tag) {
+    std::array<std::uint8_t, 8> bytes{};
+    for (int i = 0; i < 8; ++i) {
+      bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(tag >> (8 * i));
+    }
+    return rsyncx::Md5::hash(bytes);
+  }
+
+  StorageServer server_;
+};
+
+TEST_F(StorageServerTest, HappyPathUpload) {
+  const std::uint64_t chunk = server_.profile().chunk_bytes;
+  const std::uint64_t total = 2 * chunk + 1000;
+  auto session = server_.create_session("file.bin", total);
+  ASSERT_TRUE(session.ok());
+
+  ChunkDigester digester;
+  std::uint64_t offset = 0;
+  for (const std::uint64_t size : {chunk, chunk, std::uint64_t{1000}}) {
+    const auto d = digest_of(offset);
+    ASSERT_TRUE(server_.append_chunk(session.value(), offset, size, d).ok());
+    digester.add_chunk(d);
+    offset += size;
+  }
+  auto object = server_.finalize(session.value(), digester.finish());
+  ASSERT_TRUE(object.ok()) << object.error().message;
+  EXPECT_EQ(object.value().size, total);
+  EXPECT_TRUE(server_.lookup("file.bin").has_value());
+  EXPECT_EQ(server_.open_sessions(), 0u);
+}
+
+TEST_F(StorageServerTest, RejectsOutOfOrderChunk) {
+  const std::uint64_t chunk = server_.profile().chunk_bytes;
+  auto session = server_.create_session("f", 3 * chunk);
+  ASSERT_TRUE(session.ok());
+  const auto status =
+      server_.append_chunk(session.value(), chunk, chunk, digest_of(1));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, 409);
+}
+
+TEST_F(StorageServerTest, RejectsUndersizedMiddleChunk) {
+  const std::uint64_t chunk = server_.profile().chunk_bytes;
+  auto session = server_.create_session("f", 3 * chunk);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(
+      server_.append_chunk(session.value(), 0, chunk / 2, digest_of(1)).ok());
+}
+
+TEST_F(StorageServerTest, RejectsOverrun) {
+  auto session = server_.create_session("f", 1000);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(
+      server_.append_chunk(session.value(), 0, 2000, digest_of(1)).ok());
+}
+
+TEST_F(StorageServerTest, FinalizeRequiresAllBytes) {
+  const std::uint64_t chunk = server_.profile().chunk_bytes;
+  auto session = server_.create_session("f", 2 * chunk);
+  ASSERT_TRUE(session.ok());
+  ChunkDigester digester;
+  const auto d = digest_of(0);
+  ASSERT_TRUE(server_.append_chunk(session.value(), 0, chunk, d).ok());
+  digester.add_chunk(d);
+  EXPECT_FALSE(server_.finalize(session.value(), digester.finish()).ok());
+}
+
+TEST_F(StorageServerTest, FinalizeDetectsCorruption) {
+  auto session = server_.create_session("f", 1000);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(
+      server_.append_chunk(session.value(), 0, 1000, digest_of(7)).ok());
+  // Declare a digest computed from different chunk hashes.
+  ChunkDigester wrong;
+  wrong.add_chunk(digest_of(8));
+  const auto object = server_.finalize(session.value(), wrong.finish());
+  ASSERT_FALSE(object.ok());
+  EXPECT_EQ(object.error().code, 412);
+  EXPECT_EQ(server_.open_sessions(), 0u);  // poisoned session dropped
+}
+
+TEST_F(StorageServerTest, UnknownSessionErrors) {
+  EXPECT_FALSE(server_.append_chunk(999, 0, 100, digest_of(0)).ok());
+  EXPECT_FALSE(server_.finalize(999, digest_of(0)).ok());
+}
+
+TEST_F(StorageServerTest, AbandonDropsSession) {
+  auto session = server_.create_session("f", 1000);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(server_.open_sessions(), 1u);
+  server_.abandon(session.value());
+  EXPECT_EQ(server_.open_sessions(), 0u);
+}
+
+TEST_F(StorageServerTest, OneDriveAlignmentEnforced) {
+  StorageServer onedrive(ProviderKind::kOneDrive,
+                         default_profile(ProviderKind::kOneDrive));
+  const std::uint64_t chunk = onedrive.profile().chunk_bytes;
+  auto session = onedrive.create_session("f", 2 * chunk);
+  ASSERT_TRUE(session.ok());
+  // A non-final chunk that is full-sized but misaligned cannot exist (chunk
+  // size is enforced); verify the full-size requirement itself.
+  EXPECT_FALSE(onedrive
+                   .append_chunk(session.value(), 0,
+                                 chunk - 320ull * util::kKiB, digest_of(0))
+                   .ok());
+  EXPECT_TRUE(
+      onedrive.append_chunk(session.value(), 0, chunk, digest_of(0)).ok());
+}
+
+TEST_F(StorageServerTest, RejectsBadSessionParams) {
+  EXPECT_FALSE(server_.create_session("", 100).ok());
+  EXPECT_FALSE(server_.create_session("f", 0).ok());
+}
+
+}  // namespace
+}  // namespace droute::cloud

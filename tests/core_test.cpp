@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/monitor.h"
+#include "core/overlay.h"
+#include "core/planner.h"
+#include "core/tiv.h"
+#include "util/rng.h"
+
+namespace droute::core {
+namespace {
+
+// -------------------------------------------------------------------- tiv ----
+
+TEST(Tiv, DetectsPaperIntroViolation) {
+  // The intro's numbers: UBC->GDrive 87 s, UBC->UAlberta 19 s,
+  // UAlberta->GDrive 17 s => detour 36 s, speedup ~2.4.
+  TimeMatrix matrix;
+  matrix.set("UBC", "GDrive", 87.0);
+  matrix.set("UBC", "UAlberta", 19.0);
+  matrix.set("UAlberta", "GDrive", 17.0);
+  const auto violations = find_violations(matrix);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].via, "UAlberta");
+  EXPECT_NEAR(violations[0].speedup, 87.0 / 36.0, 1e-9);
+}
+
+TEST(Tiv, NoViolationWhenTriangleHolds) {
+  TimeMatrix matrix;
+  matrix.set("A", "C", 10.0);
+  matrix.set("A", "B", 8.0);
+  matrix.set("B", "C", 8.0);
+  EXPECT_TRUE(find_violations(matrix).empty());
+}
+
+TEST(Tiv, OverheadShiftsDecision) {
+  TimeMatrix matrix;
+  matrix.set("A", "C", 20.0);
+  matrix.set("A", "B", 9.0);
+  matrix.set("B", "C", 9.0);
+  EXPECT_EQ(find_violations(matrix, 1.0, 0.0).size(), 1u);
+  // 3 s of hand-off overhead erases the 2 s advantage.
+  EXPECT_TRUE(find_violations(matrix, 1.0, 3.0).empty());
+}
+
+TEST(Tiv, MinSpeedupFilters) {
+  TimeMatrix matrix;
+  matrix.set("A", "C", 100.0);
+  matrix.set("A", "B", 30.0);
+  matrix.set("B", "C", 30.0);  // speedup 1.67
+  EXPECT_EQ(find_violations(matrix, 1.5).size(), 1u);
+  EXPECT_TRUE(find_violations(matrix, 2.0).empty());
+}
+
+TEST(Tiv, SortedByStrength) {
+  TimeMatrix matrix;
+  matrix.set("A", "C", 100.0);
+  matrix.set("A", "B", 30.0);
+  matrix.set("B", "C", 30.0);   // via B: 60, speedup 1.67
+  matrix.set("A", "D", 10.0);
+  matrix.set("D", "C", 10.0);   // via D: 20, speedup 5
+  const auto violations = find_violations(matrix);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].via, "D");
+  EXPECT_EQ(violations[1].via, "B");
+}
+
+TEST(Tiv, MissingPairsIgnored) {
+  TimeMatrix matrix;
+  matrix.set("A", "C", 100.0);
+  matrix.set("A", "B", 10.0);
+  // no B->C measurement
+  EXPECT_TRUE(find_violations(matrix).empty());
+  EXPECT_FALSE(matrix.has("B", "C"));
+}
+
+// ---------------------------------------------------------------- advisor ----
+
+RouteStats make_stats(const std::string& key, double mean, double sd,
+                      bool direct = false) {
+  RouteStats stats;
+  stats.key = key;
+  stats.summary.mean = mean;
+  stats.summary.stddev = sd;
+  stats.summary.count = 5;
+  stats.is_direct = direct;
+  return stats;
+}
+
+TEST(Advisor, PicksClearWinnerDetour) {
+  // Table II shape: detour clearly faster.
+  const RouteAdvisor advisor;
+  const Decision decision = advisor.recommend({
+      make_stats("Direct", 86.92, 1.5, true),
+      make_stats("via UAlberta", 35.79, 1.2),
+      make_stats("via UMich", 132.17, 2.0),
+  });
+  EXPECT_EQ(decision.route_key, "via UAlberta");
+  EXPECT_EQ(decision.confidence, Confidence::kClear);
+}
+
+TEST(Advisor, FallsBackToDirectOnOverlap) {
+  // Table IV shape: detour mean lower but error bars overlap => direct.
+  const RouteAdvisor advisor;
+  const Decision decision = advisor.recommend({
+      make_stats("Direct", 179.44, 51.49, true),
+      make_stats("via UAlberta", 145.93, 50.12),
+  });
+  EXPECT_EQ(decision.route_key, "Direct");
+  EXPECT_EQ(decision.confidence, Confidence::kOverlapping);
+}
+
+TEST(Advisor, OverlapToleranceCanBeDisabled) {
+  RouteAdvisor::Options options;
+  options.prefer_direct_on_overlap = false;
+  const RouteAdvisor advisor(options);
+  const Decision decision = advisor.recommend({
+      make_stats("Direct", 179.44, 51.49, true),
+      make_stats("via UAlberta", 145.93, 50.12),
+  });
+  EXPECT_EQ(decision.route_key, "via UAlberta");
+  EXPECT_EQ(decision.confidence, Confidence::kOverlapping);
+}
+
+TEST(Advisor, MinGainThreshold) {
+  RouteAdvisor::Options options;
+  options.min_detour_gain = 0.30;
+  const RouteAdvisor advisor(options);
+  // Clear separation but only ~20% gain: below threshold => direct.
+  const Decision decision = advisor.recommend({
+      make_stats("Direct", 100.0, 1.0, true),
+      make_stats("via X", 80.0, 1.0),
+  });
+  EXPECT_EQ(decision.route_key, "Direct");
+}
+
+TEST(Advisor, DirectWinnerIsAlwaysClear) {
+  const RouteAdvisor advisor;
+  const Decision decision = advisor.recommend({
+      make_stats("Direct", 20.0, 5.0, true),
+      make_stats("via X", 50.0, 30.0),
+  });
+  EXPECT_EQ(decision.route_key, "Direct");
+  EXPECT_EQ(decision.confidence, Confidence::kClear);
+}
+
+TEST(Advisor, RequiresDirectCandidate) {
+  const RouteAdvisor advisor;
+  EXPECT_THROW(advisor.recommend({make_stats("via X", 10.0, 1.0)}),
+               std::logic_error);
+  EXPECT_THROW(advisor.recommend({}), std::logic_error);
+}
+
+TEST(SizeTable, DominantRouteAndExceptions) {
+  SizeTable table;
+  for (std::uint64_t mb : {10, 20, 30, 50, 100}) {
+    Decision d;
+    d.route_key = "Direct";
+    table.by_size[mb * 1000000] = d;
+  }
+  Decision detour;
+  detour.route_key = "via UAlberta";
+  table.by_size[40 * 1000000] = detour;
+  table.by_size[60 * 1000000] = detour;
+  EXPECT_EQ(table.dominant_route(), "Direct");
+  EXPECT_EQ(table.exceptions(),
+            (std::vector<std::uint64_t>{40000000, 60000000}));
+}
+
+// ---------------------------------------------------------------- planner ----
+
+measure::TransferFn affine_route(double overhead_s, double mbps,
+                                 double noise_cv = 0.0) {
+  return [=](std::uint64_t bytes, std::uint64_t seed) -> util::Result<double> {
+    util::Rng rng(seed);
+    const double base = overhead_s + static_cast<double>(bytes) * 8e-6 / mbps;
+    return noise_cv > 0.0 ? base * rng.lognormal_mean_cv(1.0, noise_cv) : base;
+  };
+}
+
+TEST(Planner, RecoversAffineModel) {
+  DetourPlanner::Options options;
+  DetourPlanner planner(options);
+  planner.add_candidate("direct", affine_route(1.0, 9.3), true);
+  planner.add_candidate("via ua", affine_route(2.0, 44.0), false);
+  auto report = planner.plan(100 * 1000 * 1000);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report.value().decision.route_key, "via ua");
+  ASSERT_EQ(report.value().models.size(), 2u);
+  const RouteModel& direct = report.value().models[0];
+  EXPECT_NEAR(direct.rate_bytes_per_s, 9.3e6 / 8, 9.3e6 / 8 * 0.02);
+  EXPECT_NEAR(direct.overhead_s, 1.0, 0.05);
+  EXPECT_GT(report.value().probe_cost_s, 0.0);
+}
+
+TEST(Planner, PrefersDirectForSmallGainsUnderNoise) {
+  DetourPlanner::Options options;
+  options.probes_per_size = 3;
+  DetourPlanner planner(options);
+  planner.add_candidate("direct", affine_route(0.5, 20.0, 0.25), true);
+  planner.add_candidate("via x", affine_route(0.5, 22.0, 0.25), false);
+  auto report = planner.plan(50 * 1000 * 1000);
+  ASSERT_TRUE(report.ok());
+  // With 25% noise and a ~9% gap, error bars overlap => conservative direct.
+  EXPECT_EQ(report.value().decision.route_key, "direct");
+}
+
+TEST(Planner, RequiresExactlyOneDirect) {
+  DetourPlanner planner{DetourPlanner::Options{}};
+  planner.add_candidate("a", affine_route(1, 10), false);
+  EXPECT_FALSE(planner.plan(1000).ok());
+  planner.add_candidate("b", affine_route(1, 10), true);
+  planner.add_candidate("c", affine_route(1, 10), true);
+  EXPECT_FALSE(planner.plan(1000).ok());
+}
+
+TEST(Planner, PropagatesProbeFailures) {
+  DetourPlanner planner{DetourPlanner::Options{}};
+  planner.add_candidate("direct",
+                        [](std::uint64_t, std::uint64_t)
+                            -> util::Result<double> {
+                          return util::Error::make("probe exploded");
+                        },
+                        true);
+  auto report = planner.plan(1000);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("probe exploded"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- monitor ----
+
+TEST(Monitor, LearnsBaselineAndDetectsCollapse) {
+  DynamicMonitor monitor;
+  for (int i = 0; i < 5; ++i) monitor.observe("ubc->gdrive", 40.0);
+  ASSERT_TRUE(monitor.baseline_mbps("ubc->gdrive").has_value());
+  EXPECT_NEAR(monitor.baseline_mbps("ubc->gdrive").value(), 40.0, 1e-9);
+  EXPECT_FALSE(monitor.is_degraded("ubc->gdrive"));
+
+  monitor.observe("ubc->gdrive", 10.0);
+  EXPECT_FALSE(monitor.is_degraded("ubc->gdrive"));  // 1 strike
+  monitor.observe("ubc->gdrive", 10.0);
+  monitor.observe("ubc->gdrive", 10.0);
+  EXPECT_TRUE(monitor.is_degraded("ubc->gdrive"));   // 3 strikes
+}
+
+TEST(Monitor, SingleBlipDoesNotFlap) {
+  DynamicMonitor monitor;
+  for (int i = 0; i < 5; ++i) monitor.observe("r", 40.0);
+  monitor.observe("r", 5.0);    // blip
+  monitor.observe("r", 40.0);   // recovery resets strikes
+  monitor.observe("r", 5.0);
+  monitor.observe("r", 40.0);
+  EXPECT_FALSE(monitor.is_degraded("r"));
+}
+
+TEST(Monitor, BaselineFrozenWhileDegraded) {
+  DynamicMonitor monitor;
+  for (int i = 0; i < 5; ++i) monitor.observe("r", 40.0);
+  for (int i = 0; i < 4; ++i) monitor.observe("r", 2.0);
+  ASSERT_TRUE(monitor.is_degraded("r"));
+  // The baseline must not have been dragged down to the failure level.
+  EXPECT_GT(monitor.baseline_mbps("r").value(), 20.0);
+}
+
+TEST(Monitor, ResetClearsDegradation) {
+  DynamicMonitor monitor;
+  for (int i = 0; i < 5; ++i) monitor.observe("r", 40.0);
+  for (int i = 0; i < 4; ++i) monitor.observe("r", 2.0);
+  ASSERT_TRUE(monitor.is_degraded("r"));
+  EXPECT_EQ(monitor.degraded_routes(), std::vector<std::string>{"r"});
+  monitor.reset("r");
+  EXPECT_FALSE(monitor.is_degraded("r"));
+  EXPECT_TRUE(monitor.degraded_routes().empty());
+}
+
+TEST(Monitor, WarmupGracePeriod) {
+  DynamicMonitor monitor;
+  // Low samples during warm-up must not immediately degrade.
+  monitor.observe("r", 40.0);
+  monitor.observe("r", 4.0);
+  monitor.observe("r", 4.0);
+  EXPECT_FALSE(monitor.is_degraded("r"));
+}
+
+// ---------------------------------------------------------------- overlay ----
+
+TEST(Overlay, InstallLookupEvict) {
+  OverlayTable table;
+  OverlayEntry entry;
+  entry.client = "UBC";
+  entry.provider = "Google Drive";
+  entry.route_key = "via UAlberta";
+  entry.expected_s = 35.79;
+  table.install(entry);
+  ASSERT_TRUE(table.lookup("UBC", "Google Drive").has_value());
+  EXPECT_EQ(table.lookup("UBC", "Google Drive")->route_key, "via UAlberta");
+  EXPECT_FALSE(table.lookup("UBC", "Dropbox").has_value());
+  EXPECT_TRUE(table.evict("UBC", "Google Drive"));
+  EXPECT_FALSE(table.evict("UBC", "Google Drive"));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(Overlay, InstallReplaces) {
+  OverlayTable table;
+  OverlayEntry entry;
+  entry.client = "Purdue";
+  entry.provider = "Dropbox";
+  entry.route_key = "Direct";
+  table.install(entry);
+  entry.route_key = "via UMich";
+  table.install(entry);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup("Purdue", "Dropbox")->route_key, "via UMich");
+}
+
+TEST(Overlay, RenderMentionsRoutes) {
+  OverlayTable table;
+  OverlayEntry entry;
+  entry.client = "UBC";
+  entry.provider = "Google Drive";
+  entry.route_key = "via UAlberta";
+  entry.expected_s = 35.79;
+  table.install(entry);
+  const std::string text = table.render();
+  EXPECT_NE(text.find("UBC -> Google Drive : via UAlberta"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace droute::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "geo/geo.h"
+#include "geo/registry.h"
+
+namespace droute::geo {
+namespace {
+
+const Coord kVancouver{49.26, -123.25};
+const Coord kEdmonton{53.52, -113.52};
+const Coord kMountainView{37.42, -122.08};
+const Coord kSeattle{47.61, -122.33};
+
+TEST(Haversine, ZeroForSamePoint) {
+  EXPECT_NEAR(haversine_km(kVancouver, kVancouver), 0.0, 1e-9);
+}
+
+TEST(Haversine, Symmetric) {
+  EXPECT_NEAR(haversine_km(kVancouver, kEdmonton),
+              haversine_km(kEdmonton, kVancouver), 1e-9);
+}
+
+TEST(Haversine, KnownDistances) {
+  // Vancouver–Edmonton ~820 km; Vancouver–Mountain View ~1300 km.
+  EXPECT_NEAR(haversine_km(kVancouver, kEdmonton), 820.0, 40.0);
+  EXPECT_NEAR(haversine_km(kVancouver, kMountainView), 1320.0, 60.0);
+}
+
+TEST(Haversine, TriangleInequalityHolds) {
+  // Geometry obeys the triangle inequality — the paper's point is that
+  // *throughput* does not.
+  const double direct = haversine_km(kVancouver, kMountainView);
+  const double detour = haversine_km(kVancouver, kEdmonton) +
+                        haversine_km(kEdmonton, kMountainView);
+  EXPECT_LE(direct, detour + 1e-9);
+}
+
+TEST(PropagationDelay, ScalesWithDistanceAndInflation) {
+  const double base = propagation_delay_s(kVancouver, kSeattle, 1.0);
+  const double inflated = propagation_delay_s(kVancouver, kSeattle, 1.6);
+  EXPECT_NEAR(inflated / base, 1.6, 1e-9);
+  // Vancouver–Seattle ~190 km of fiber at 204000 km/s => ~1 ms one way.
+  EXPECT_NEAR(base, 190.0 / 204000.0, 3e-4);
+}
+
+TEST(DetourRatio, UnityForStraightLine) {
+  const Coord mid{(kVancouver.lat_deg + kEdmonton.lat_deg) / 2,
+                  (kVancouver.lon_deg + kEdmonton.lon_deg) / 2};
+  EXPECT_NEAR(detour_ratio(kVancouver, mid, kEdmonton), 1.0, 0.01);
+}
+
+TEST(DetourRatio, UbcUalbertaGoogleIsLargeGeographicDetour) {
+  // The paper's Fig 3 observation: routing Vancouver->Mountain View through
+  // Edmonton is a significant geographic backtrack.
+  const double ratio = detour_ratio(kVancouver, kEdmonton, kMountainView);
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_GT(backtrack_km(kVancouver, kEdmonton, kMountainView), 1000.0);
+}
+
+TEST(CoordToString, Rendering) {
+  EXPECT_EQ(to_string(Coord{49.26, -123.25}), "49.26N 123.25W");
+  EXPECT_EQ(to_string(Coord{-33.87, 151.21}), "33.87S 151.21E");
+}
+
+// ---------------------------------------------------------------- registry ----
+
+TEST(Ipv4, ParsePrintRoundTrip) {
+  const auto ip = Ipv4::parse("199.212.24.64");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip.value().to_string(), "199.212.24.64");
+}
+
+TEST(Ipv4, RejectsGarbage) {
+  EXPECT_FALSE(Ipv4::parse("not-an-ip").ok());
+  EXPECT_FALSE(Ipv4::parse("1.2.3").ok());
+  EXPECT_FALSE(Ipv4::parse("300.1.1.1").ok());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").ok());
+}
+
+TEST(Registry, AddLookup) {
+  Registry registry;
+  registry.add({"vncv1rtr2.canarie.ca", "Vancouver, BC", kVancouver,
+                "router"});
+  const auto hit = registry.lookup("vncv1rtr2.canarie.ca");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->city, "Vancouver, BC");
+  EXPECT_FALSE(registry.lookup("missing").has_value());
+}
+
+TEST(Registry, IpBinding) {
+  Registry registry;
+  registry.add({"host-a", "Edmonton, AB", kEdmonton, "client"});
+  const auto ip = Ipv4::parse("10.0.0.1").value();
+  ASSERT_TRUE(registry.bind_ip(ip, "host-a").ok());
+  const auto hit = registry.lookup_ip(ip);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "host-a");
+  EXPECT_FALSE(registry.bind_ip(ip, "unknown").ok());
+}
+
+TEST(Registry, ReplacementKeepsSingleEntry) {
+  Registry registry;
+  registry.add({"x", "Old City", kVancouver, "client"});
+  registry.add({"x", "New City", kVancouver, "client"});
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.lookup("x")->city, "New City");
+}
+
+TEST(Registry, MapRendersMarkersAndLegend) {
+  Registry registry;
+  registry.add({"ubc", "Vancouver", kVancouver, "client"});
+  registry.add({"gdrive", "Mountain View", kMountainView, "cloud"});
+  const std::string map = registry.render_map(40, 12);
+  EXPECT_NE(map.find("A = ubc"), std::string::npos);
+  EXPECT_NE(map.find("B = gdrive"), std::string::npos);
+  EXPECT_NE(map.find('A'), std::string::npos);
+}
+
+TEST(Registry, RoutersExcludedFromMapMarkers) {
+  Registry registry;
+  registry.add({"r1", "Somewhere", kSeattle, "router"});
+  const std::string map = registry.render_map(40, 12);
+  EXPECT_EQ(map.find("r1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace droute::geo

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "measure/campaign.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace droute::measure {
+namespace {
+
+TEST(DeriveSeed, StableAndDistinct) {
+  const std::uint64_t a = derive_seed(1, "route-a", 1000, 0);
+  EXPECT_EQ(a, derive_seed(1, "route-a", 1000, 0));
+  EXPECT_NE(a, derive_seed(1, "route-a", 1000, 1));
+  EXPECT_NE(a, derive_seed(1, "route-b", 1000, 0));
+  EXPECT_NE(a, derive_seed(1, "route-a", 2000, 0));
+  EXPECT_NE(a, derive_seed(2, "route-a", 1000, 0));
+}
+
+TEST(Campaign, ImplementsSevenRunKeepFiveProtocol) {
+  Campaign campaign(7);
+  std::atomic<int> calls{0};
+  campaign.add_route("synthetic",
+                     [&](std::uint64_t, std::uint64_t) -> util::Result<double> {
+                       // Warm-up runs (first two) are slow; steady state 10 s.
+                       const int run = calls.fetch_add(1);
+                       return run < 2 ? 50.0 : 10.0;
+                     });
+  const Measurement m = campaign.measure("synthetic", 1000);
+  EXPECT_EQ(calls.load(), 7);
+  EXPECT_EQ(m.runs.size(), 7u);
+  EXPECT_EQ(m.kept.count, 5u);
+  EXPECT_DOUBLE_EQ(m.kept.mean, 10.0);
+  EXPECT_DOUBLE_EQ(m.kept.stddev, 0.0);
+  EXPECT_EQ(m.failures, 0);
+}
+
+TEST(Campaign, FailuresCountedAndExcluded) {
+  Campaign campaign;
+  int run = 0;
+  campaign.add_route("flaky",
+                     [&](std::uint64_t, std::uint64_t) -> util::Result<double> {
+                       if (run++ % 2 == 0) {
+                         return util::Error::make("injected failure");
+                       }
+                       return 5.0;
+                     });
+  const Measurement m = campaign.measure("flaky", 1000);
+  EXPECT_EQ(m.failures, 4);  // runs 0,2,4,6 of 7
+  EXPECT_EQ(m.runs.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.kept.mean, 5.0);
+}
+
+TEST(Campaign, SeedsFlowToTransferFn) {
+  Campaign campaign(99);
+  std::vector<std::uint64_t> seeds;
+  campaign.add_route("probe",
+                     [&](std::uint64_t, std::uint64_t seed)
+                         -> util::Result<double> {
+                       seeds.push_back(seed);
+                       return 1.0;
+                     });
+  campaign.measure("probe", 123);
+  ASSERT_EQ(seeds.size(), 7u);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], derive_seed(99, "probe", 123, static_cast<int>(i)));
+  }
+}
+
+TEST(Campaign, GridCoversRoutesTimesSizes) {
+  Campaign campaign;
+  campaign.add_route("r1", [](std::uint64_t bytes, std::uint64_t)
+                               -> util::Result<double> {
+    return static_cast<double>(bytes) / 1e6;
+  });
+  campaign.add_route("r2", [](std::uint64_t bytes, std::uint64_t)
+                               -> util::Result<double> {
+    return static_cast<double>(bytes) / 2e6;
+  });
+  const auto grid = campaign.run_grid({1000000, 2000000});
+  EXPECT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid.at({"r1", 2000000}).kept.mean, 2.0);
+  EXPECT_DOUBLE_EQ(grid.at({"r2", 2000000}).kept.mean, 1.0);
+}
+
+TEST(Campaign, ParallelGridMatchesSequential) {
+  // Determinism requirement: thread-pool execution must produce the exact
+  // same statistics as sequential execution (per-run seeds are order-free).
+  auto build = [] {
+    Campaign campaign(5);
+    for (const std::string key : {"a", "b", "c"}) {
+      campaign.add_route(
+          key, [key](std::uint64_t bytes,
+                     std::uint64_t seed) -> util::Result<double> {
+            util::Rng rng(seed);
+            return static_cast<double>(bytes) / 1e6 *
+                   rng.lognormal_mean_cv(1.0, 0.3);
+          });
+    }
+    return campaign;
+  };
+  const Campaign sequential = build();
+  const Campaign parallel = build();
+  util::ThreadPool pool(4);
+  const auto grid_seq = sequential.run_grid({1000000, 5000000});
+  const auto grid_par = parallel.run_grid({1000000, 5000000}, {}, &pool);
+  ASSERT_EQ(grid_seq.size(), grid_par.size());
+  for (const auto& [key, m] : grid_seq) {
+    const auto& other = grid_par.at(key);
+    ASSERT_EQ(m.runs.size(), other.runs.size());
+    for (std::size_t i = 0; i < m.runs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(m.runs[i], other.runs[i]);
+    }
+  }
+}
+
+TEST(Campaign, DuplicateRouteKeyRejected) {
+  Campaign campaign;
+  campaign.add_route("dup", [](std::uint64_t, std::uint64_t)
+                                -> util::Result<double> { return 1.0; });
+  EXPECT_THROW(campaign.add_route("dup",
+                                  [](std::uint64_t, std::uint64_t)
+                                      -> util::Result<double> { return 1.0; }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace droute::measure

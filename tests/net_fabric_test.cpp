@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "net/cross_traffic.h"
+#include "net/fabric.h"
+#include "util/units.h"
+
+namespace droute::net {
+namespace {
+
+/// Dumbbell: a1,a2,a3 -- left -- (shared 100 Mbps) -- right -- b1,b2,b3.
+struct Dumbbell {
+  Topology topo;
+  RouteTable routes{nullptr};
+  sim::Simulator simulator;
+  std::unique_ptr<Fabric> fabric;
+  NodeId a[3], b[3], left, right;
+  LinkId shared;
+
+  Dumbbell(double shared_mbps = 100.0, double loss = 0.0) {
+    Topology::Builder builder;
+    const AsId as = builder.add_as("AS");
+    left = builder.add_router(as, "left", {50, -100});
+    right = builder.add_router(as, "right", {50, -99});
+    for (int i = 0; i < 3; ++i) {
+      a[i] = builder.add_host(as, "a" + std::to_string(i), {50, -100});
+      b[i] = builder.add_host(as, "b" + std::to_string(i), {50, -99});
+      builder.add_duplex(a[i], left, 10000, 0.0005);
+      builder.add_duplex(right, b[i], 10000, 0.0005);
+    }
+    shared = builder.add_duplex(left, right, shared_mbps, 0.005,
+                                {.loss_rate = loss});
+    auto built = std::move(builder).build();
+    EXPECT_TRUE(built.ok());
+    topo = std::move(built).value();
+    routes = RouteTable(&topo);
+    fabric = std::make_unique<Fabric>(&simulator, &topo, &routes);
+  }
+};
+
+TEST(Fabric, SingleFlowGetsBottleneckRate) {
+  Dumbbell world(100.0);
+  FlowStats finished;
+  FlowOptions options;
+  options.charge_slow_start = false;
+  auto flow = world.fabric->start_flow(
+      world.a[0], world.b[0], 100 * util::kMB,
+      [&](const FlowStats& stats) { finished = stats; }, options);
+  ASSERT_TRUE(flow.ok());
+  world.simulator.run();
+  EXPECT_EQ(finished.outcome, FlowOutcome::kCompleted);
+  // 100 MB at 100 Mbps = 8 s.
+  EXPECT_NEAR(finished.duration_s(), 8.0, 0.05);
+  EXPECT_NEAR(finished.achieved_mbps(), 100.0, 1.0);
+}
+
+TEST(Fabric, TwoFlowsShareFairly) {
+  Dumbbell world(100.0);
+  std::map<FlowId, FlowStats> done;
+  FlowOptions options;
+  options.charge_slow_start = false;
+  for (int i = 0; i < 2; ++i) {
+    auto flow = world.fabric->start_flow(
+        world.a[i], world.b[i], 50 * util::kMB,
+        [&](const FlowStats& stats) { done[stats.id] = stats; }, options);
+    ASSERT_TRUE(flow.ok());
+  }
+  world.simulator.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Two equal flows at 50 Mbps each: both finish ~8 s.
+  for (const auto& [id, stats] : done) {
+    EXPECT_NEAR(stats.duration_s(), 8.0, 0.1);
+  }
+}
+
+TEST(Fabric, ShortFlowDepartureSpeedsUpSurvivor) {
+  Dumbbell world(100.0);
+  FlowStats long_flow{}, short_flow{};
+  FlowOptions options;
+  options.charge_slow_start = false;
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], 100 * util::kMB,
+                               [&](const FlowStats& s) { long_flow = s; },
+                               options)
+                  .ok());
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[1], world.b[1], 25 * util::kMB,
+                               [&](const FlowStats& s) { short_flow = s; },
+                               options)
+                  .ok());
+  world.simulator.run();
+  // Short: 25 MB at 50 Mbps = 4 s. Long: 4 s at 50 + remaining 75 MB at
+  // 100 Mbps = 4 + 6 = 10 s.
+  EXPECT_NEAR(short_flow.duration_s(), 4.0, 0.1);
+  EXPECT_NEAR(long_flow.duration_s(), 10.0, 0.1);
+}
+
+TEST(Fabric, PerFlowCapLeavesHeadroomForOthers) {
+  Dumbbell world(100.0);
+  // Flow 0 is app-capped at 20 Mbps; flow 1 should get the remaining 80.
+  FlowOptions capped;
+  capped.charge_slow_start = false;
+  capped.app_cap_mbps = 20.0;
+  FlowOptions open;
+  open.charge_slow_start = false;
+  FlowStats f0{}, f1{};
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], 10 * util::kMB,
+                               [&](const FlowStats& s) { f0 = s; }, capped)
+                  .ok());
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[1], world.b[1], 40 * util::kMB,
+                               [&](const FlowStats& s) { f1 = s; }, open)
+                  .ok());
+  world.simulator.run();
+  EXPECT_NEAR(f0.duration_s(), 4.0, 0.1);   // 10 MB at 20 Mbps
+  EXPECT_NEAR(f1.duration_s(), 4.0, 0.1);   // 40 MB at 80 Mbps
+}
+
+TEST(Fabric, MaxMinWaterFillingInvariants) {
+  // Three concurrent flows with caps 10/50/uncapped on a 90 Mbps link:
+  // allocation must be 10 / 40 / 40 (water level 40).
+  Dumbbell world(90.0);
+  FlowOptions o1, o2, o3;
+  o1.charge_slow_start = o2.charge_slow_start = o3.charge_slow_start = false;
+  o1.app_cap_mbps = 10.0;
+  o2.app_cap_mbps = 50.0;
+  auto f1 = world.fabric->start_flow(world.a[0], world.b[0],
+                                     1000 * util::kMB, nullptr, o1);
+  auto f2 = world.fabric->start_flow(world.a[1], world.b[1],
+                                     1000 * util::kMB, nullptr, o2);
+  auto f3 = world.fabric->start_flow(world.a[2], world.b[2],
+                                     1000 * util::kMB, nullptr, o3);
+  ASSERT_TRUE(f1.ok() && f2.ok() && f3.ok());
+  EXPECT_NEAR(world.fabric->current_rate_mbps(f1.value()), 10.0, 0.01);
+  EXPECT_NEAR(world.fabric->current_rate_mbps(f2.value()), 40.0, 0.01);
+  EXPECT_NEAR(world.fabric->current_rate_mbps(f3.value()), 40.0, 0.01);
+}
+
+TEST(Fabric, LossyLinkCapsThroughputViaMathis) {
+  Dumbbell lossless(10000.0, 0.0);
+  Dumbbell lossy(10000.0, 0.01);
+  FlowOptions options;
+  options.charge_slow_start = false;
+  FlowStats clean{}, degraded{};
+  ASSERT_TRUE(lossless.fabric
+                  ->start_flow(lossless.a[0], lossless.b[0], 10 * util::kMB,
+                               [&](const FlowStats& s) { clean = s; }, options)
+                  .ok());
+  ASSERT_TRUE(lossy.fabric
+                  ->start_flow(lossy.a[0], lossy.b[0], 10 * util::kMB,
+                               [&](const FlowStats& s) { degraded = s; },
+                               options)
+                  .ok());
+  lossless.simulator.run();
+  lossy.simulator.run();
+  EXPECT_GT(degraded.duration_s(), clean.duration_s() * 2);
+}
+
+TEST(Fabric, SlowStartChargesRampTime) {
+  Dumbbell world(100.0);
+  FlowOptions with_ss, without_ss;
+  with_ss.charge_slow_start = true;
+  without_ss.charge_slow_start = false;
+  FlowStats ramped{}, instant{};
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], util::kMB,
+                               [&](const FlowStats& s) { ramped = s; },
+                               with_ss)
+                  .ok());
+  world.simulator.run();
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[1], world.b[1], util::kMB,
+                               [&](const FlowStats& s) { instant = s; },
+                               without_ss)
+                  .ok());
+  world.simulator.run();
+  EXPECT_GT(ramped.duration_s(), instant.duration_s());
+}
+
+TEST(Fabric, AbortFiresCallbackOnce) {
+  Dumbbell world(100.0);
+  int calls = 0;
+  FlowOutcome outcome = FlowOutcome::kCompleted;
+  auto flow = world.fabric->start_flow(world.a[0], world.b[0], 100 * util::kMB,
+                                       [&](const FlowStats& s) {
+                                         ++calls;
+                                         outcome = s.outcome;
+                                       });
+  ASSERT_TRUE(flow.ok());
+  world.simulator.schedule_in(1.0,
+                              [&] { world.fabric->abort_flow(flow.value()); });
+  world.simulator.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(outcome, FlowOutcome::kAborted);
+  EXPECT_EQ(world.fabric->active_flow_count(), 0u);
+}
+
+TEST(Fabric, LinkFailureKillsFlowsAndReroutes) {
+  Dumbbell world(100.0);
+  FlowOutcome outcome = FlowOutcome::kCompleted;
+  auto flow = world.fabric->start_flow(
+      world.a[0], world.b[0], 100 * util::kMB,
+      [&](const FlowStats& s) { outcome = s.outcome; });
+  ASSERT_TRUE(flow.ok());
+  world.simulator.schedule_in(0.5,
+                              [&] { world.fabric->fail_link(world.shared); });
+  world.simulator.run();
+  EXPECT_EQ(outcome, FlowOutcome::kLinkFailed);
+  // With the only shared link down, a new flow is unroutable.
+  EXPECT_FALSE(world.fabric
+                   ->start_flow(world.a[0], world.b[0], util::kMB, nullptr)
+                   .ok());
+  world.fabric->restore_link(world.shared);
+  EXPECT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], util::kMB, nullptr)
+                  .ok());
+}
+
+TEST(Fabric, ByteConservation) {
+  Dumbbell world(100.0);
+  constexpr std::uint64_t kBytes = 10 * util::kMB;
+  int completions = 0;
+  FlowOptions options;
+  options.charge_slow_start = false;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(world.fabric
+                    ->start_flow(world.a[i], world.b[i], kBytes,
+                                 [&](const FlowStats&) { ++completions; },
+                                 options)
+                    .ok());
+  }
+  world.simulator.run();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(world.fabric->delivered_bytes(), 3 * kBytes);
+  EXPECT_NEAR(world.fabric->moved_bytes(), 3.0 * kBytes, 3.0);
+}
+
+TEST(Fabric, RttAccountsBothDirections) {
+  Dumbbell world(100.0);
+  auto rtt = world.fabric->rtt_s(world.a[0], world.b[0]);
+  ASSERT_TRUE(rtt.ok());
+  // 2 * (0.0005 + 0.005 + 0.0005) + base 0.003.
+  EXPECT_NEAR(rtt.value(), 0.012 + 0.003, 1e-9);
+}
+
+TEST(Fabric, RejectsZeroByteFlow) {
+  Dumbbell world(100.0);
+  EXPECT_FALSE(
+      world.fabric->start_flow(world.a[0], world.b[0], 0, nullptr).ok());
+}
+
+TEST(CrossTraffic, GeneratesAndDrainsFlows) {
+  Dumbbell world(100.0);
+  CrossTrafficProfile profile;
+  profile.mean_interarrival_s = 0.5;
+  profile.min_bytes = 100 * util::kKB;
+  profile.max_bytes = util::kMB;
+  CrossTrafficSource source(world.fabric.get(), world.a[0], world.b[0],
+                            profile, util::Rng(7));
+  source.start();
+  world.simulator.run_until(30.0);
+  source.stop();
+  world.simulator.run();  // drain in-flight flows
+  EXPECT_GT(source.flows_started(), 20u);
+  EXPECT_EQ(source.flows_started(), source.flows_completed());
+}
+
+TEST(CrossTraffic, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Dumbbell world(100.0);
+    CrossTrafficProfile profile;
+    profile.mean_interarrival_s = 0.5;
+    CrossTrafficSource source(world.fabric.get(), world.a[0], world.b[0],
+                              profile, util::Rng(seed));
+    source.start();
+    world.simulator.run_until(20.0);
+    source.stop();
+    world.simulator.run();
+    return std::make_pair(source.flows_started(),
+                          world.fabric->delivered_bytes());
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(CrossTraffic, SlowsForegroundFlow) {
+  Dumbbell quiet(50.0);
+  Dumbbell busy(50.0);
+  CrossTrafficProfile profile;
+  profile.mean_interarrival_s = 0.4;
+  profile.min_bytes = util::kMB;
+  profile.max_bytes = 8 * util::kMB;
+  CrossTrafficSource source(busy.fabric.get(), busy.a[1], busy.b[1], profile,
+                            util::Rng(3));
+  source.start();
+  busy.simulator.run_until(10.0);
+
+  FlowOptions options;
+  options.charge_slow_start = false;
+  FlowStats quiet_stats{}, busy_stats{};
+  ASSERT_TRUE(quiet.fabric
+                  ->start_flow(quiet.a[0], quiet.b[0], 20 * util::kMB,
+                               [&](const FlowStats& s) { quiet_stats = s; },
+                               options)
+                  .ok());
+  quiet.simulator.run();
+  ASSERT_TRUE(busy.fabric
+                  ->start_flow(busy.a[0], busy.b[0], 20 * util::kMB,
+                               [&](const FlowStats& s) { busy_stats = s; },
+                               options)
+                  .ok());
+  while (busy_stats.bytes == 0 && busy.simulator.step()) {
+  }
+  source.stop();
+  EXPECT_GT(busy_stats.duration_s(), quiet_stats.duration_s() * 1.2);
+}
+
+}  // namespace
+}  // namespace droute::net
+
+namespace droute::net {
+namespace {
+
+TEST(Fabric, LinkLoadsReportAllocationAndUtilization) {
+  Dumbbell world(100.0);
+  FlowOptions options;
+  options.charge_slow_start = false;
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], 1000 * util::kMB,
+                               nullptr, options)
+                  .ok());
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[1], world.b[1], 1000 * util::kMB,
+                               nullptr, options)
+                  .ok());
+  const auto loads = world.fabric->link_loads();
+  ASSERT_FALSE(loads.empty());
+  bool found_shared = false;
+  for (const auto& load : loads) {
+    EXPECT_LE(load.allocated_mbps, load.capacity_mbps + 1e-6);
+    if (load.flows == 2) {
+      found_shared = true;
+      EXPECT_NEAR(load.allocated_mbps, 100.0, 0.1);
+      EXPECT_NEAR(load.utilization(), 1.0, 0.01);
+    }
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(Fabric, LinkLoadsEmptyWhenIdle) {
+  Dumbbell world(100.0);
+  EXPECT_TRUE(world.fabric->link_loads().empty());
+}
+
+}  // namespace
+}  // namespace droute::net

@@ -1,0 +1,273 @@
+// Property tests of BGP-lite over randomized topologies: every computed AS
+// path must be valley-free and loop-free; the fabric's max-min allocation
+// must satisfy feasibility, cap-respect and water-filling optimality on
+// randomized flow sets.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/fabric.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace droute::net {
+namespace {
+
+/// Random AS hierarchy: tier-1 clique of peers, tier-2 customers of tier-1
+/// (plus occasional tier-2 peering), tier-3 stubs customers of tier-2.
+/// One router per AS, links along every declared relationship.
+struct RandomInternet {
+  Topology topo;
+  std::vector<NodeId> routers;
+  std::map<std::pair<AsId, AsId>, AsRelation> declared;  // b's role to a
+
+  static RandomInternet build(std::uint64_t seed, int tier1 = 3, int tier2 = 5,
+                              int tier3 = 8) {
+    util::Rng rng(seed);
+    RandomInternet world;
+    Topology::Builder b;
+    std::vector<AsId> t1, t2, t3;
+    auto declare = [&](AsId a, AsId bb, AsRelation rel) {
+      b.relate(a, bb, rel);
+      world.declared[{a, bb}] = rel;
+    };
+    for (int i = 0; i < tier1; ++i) t1.push_back(b.add_as("T1-" + std::to_string(i)));
+    for (int i = 0; i < tier2; ++i) t2.push_back(b.add_as("T2-" + std::to_string(i)));
+    for (int i = 0; i < tier3; ++i) t3.push_back(b.add_as("T3-" + std::to_string(i)));
+    // Tier-1 full peer mesh.
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+      for (std::size_t j = i + 1; j < t1.size(); ++j) {
+        declare(t1[i], t1[j], AsRelation::kPeer);
+      }
+    }
+    // Tier-2: customer of 1-2 tier-1s; some tier-2 peering.
+    for (AsId as : t2) {
+      const auto providers = 1 + rng.uniform_int(0, 1);
+      std::set<AsId> used;
+      for (int p = 0; p < providers; ++p) {
+        const AsId up = t1[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(t1.size() - 1)))];
+        if (used.insert(up).second) declare(up, as, AsRelation::kCustomer);
+      }
+    }
+    for (std::size_t i = 0; i < t2.size(); ++i) {
+      for (std::size_t j = i + 1; j < t2.size(); ++j) {
+        if (rng.chance(0.3)) declare(t2[i], t2[j], AsRelation::kPeer);
+      }
+    }
+    // Tier-3 stubs: customer of 1-2 tier-2s.
+    for (AsId as : t3) {
+      const auto providers = 1 + rng.uniform_int(0, 1);
+      std::set<AsId> used;
+      for (int p = 0; p < providers; ++p) {
+        const AsId up = t2[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(t2.size() - 1)))];
+        if (used.insert(up).second) declare(up, as, AsRelation::kCustomer);
+      }
+    }
+    // One router per AS; links along relationships.
+    const int total = tier1 + tier2 + tier3;
+    for (int i = 0; i < total; ++i) {
+      world.routers.push_back(
+          b.add_router(static_cast<AsId>(i), "r" + std::to_string(i),
+                       {40.0 + i, -100.0 + i}));
+    }
+    for (const auto& [pair, rel] : world.declared) {
+      b.add_duplex(world.routers[static_cast<std::size_t>(pair.first)],
+                   world.routers[static_cast<std::size_t>(pair.second)],
+                   1000.0, util::ms(1 + rng.uniform_int(0, 20)));
+    }
+    auto built = std::move(b).build();
+    EXPECT_TRUE(built.ok()) << (built.ok() ? "" : built.error().message);
+    world.topo = std::move(built).value();
+    return world;
+  }
+
+  /// Edge classification from x's perspective: +1 up (to provider), 0 peer,
+  /// -1 down (to customer).
+  int edge_direction(AsId x, AsId y) const {
+    const auto it = declared.find({x, y});
+    if (it != declared.end()) {
+      switch (it->second) {
+        case AsRelation::kCustomer: return -1;
+        case AsRelation::kPeer: return 0;
+        case AsRelation::kProvider: return +1;
+      }
+    }
+    const auto rit = declared.find({y, x});
+    EXPECT_TRUE(rit != declared.end()) << "undeclared edge";
+    switch (rit->second) {
+      case AsRelation::kCustomer: return +1;  // x is y's customer: up
+      case AsRelation::kPeer: return 0;
+      case AsRelation::kProvider: return -1;
+    }
+    return 0;
+  }
+};
+
+class BgpProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpProperty, AllPathsValleyFreeAndLoopFree) {
+  RandomInternet world = RandomInternet::build(GetParam());
+  RouteTable routes(&world.topo);
+  const auto n = static_cast<AsId>(world.topo.as_count());
+  int reachable_pairs = 0;
+  for (AsId src = 0; src < n; ++src) {
+    for (AsId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      auto path = routes.as_path(src, dst);
+      if (!path.ok()) continue;  // policy can legitimately isolate pairs
+      ++reachable_pairs;
+      const auto& hops = path.value();
+      // Loop-free.
+      std::set<AsId> seen(hops.begin(), hops.end());
+      EXPECT_EQ(seen.size(), hops.size()) << "AS loop";
+      // Valley-free: direction sequence matches up* peer? down*.
+      int phase = 0;  // 0=climbing, 1=peered, 2=descending
+      for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+        const int dir = world.edge_direction(hops[i], hops[i + 1]);
+        if (dir == +1) {
+          EXPECT_EQ(phase, 0) << "up edge after peak (valley!)";
+        } else if (dir == 0) {
+          EXPECT_LT(phase, 2) << "peer edge while descending";
+          EXPECT_NE(phase, 1) << "two peer edges on one path";
+          phase = 1;
+        } else {
+          phase = 2;
+        }
+      }
+    }
+  }
+  // The hierarchy is connected upward, so most pairs must be reachable.
+  EXPECT_GT(reachable_pairs, static_cast<int>(n) * (n - 1) / 2);
+}
+
+TEST_P(BgpProperty, NodeRoutesMatchAsPaths) {
+  RandomInternet world = RandomInternet::build(GetParam());
+  RouteTable routes(&world.topo);
+  const auto n = static_cast<AsId>(world.topo.as_count());
+  for (AsId src = 0; src < n; ++src) {
+    for (AsId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      auto as_path = routes.as_path(src, dst);
+      auto node_route =
+          routes.route(world.routers[static_cast<std::size_t>(src)],
+                       world.routers[static_cast<std::size_t>(dst)]);
+      ASSERT_EQ(as_path.ok(), node_route.ok());
+      if (!as_path.ok()) continue;
+      // The node path's AS sequence (deduplicated) equals the BGP path.
+      std::vector<AsId> seen;
+      for (NodeId node : node_route.value().nodes) {
+        const AsId as = world.topo.node(node).as_id;
+        if (seen.empty() || seen.back() != as) seen.push_back(as);
+      }
+      EXPECT_EQ(seen, as_path.value());
+    }
+  }
+}
+
+TEST_P(BgpProperty, DeterministicAcrossRebuilds) {
+  RandomInternet w1 = RandomInternet::build(GetParam());
+  RandomInternet w2 = RandomInternet::build(GetParam());
+  RouteTable r1(&w1.topo), r2(&w2.topo);
+  const auto n = static_cast<AsId>(w1.topo.as_count());
+  for (AsId src = 0; src < n; ++src) {
+    for (AsId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      auto p1 = r1.as_path(src, dst);
+      auto p2 = r2.as_path(src, dst);
+      ASSERT_EQ(p1.ok(), p2.ok());
+      if (p1.ok()) {
+        EXPECT_EQ(p1.value(), p2.value());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, BgpProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Max-min allocation properties on random flow sets over a shared path.
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, FeasibleCapRespectingAndSaturating) {
+  util::Rng rng(GetParam());
+  // Chain topology: h0 - r0 - r1 - r2 - h1, with random link capacities.
+  Topology::Builder b;
+  const AsId as = b.add_as("AS");
+  std::vector<NodeId> chain;
+  chain.push_back(b.add_host(as, "h0", {50, -100}));
+  for (int i = 0; i < 3; ++i) {
+    chain.push_back(b.add_router(as, "r" + std::to_string(i),
+                                 {50, -99.0 + i}));
+  }
+  chain.push_back(b.add_host(as, "h1", {50, -95}));
+  std::vector<double> capacities;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const double cap = rng.uniform(20.0, 200.0);
+    capacities.push_back(cap);
+    b.add_duplex(chain[i], chain[i + 1], cap, util::ms(1));
+  }
+  auto built = std::move(b).build();
+  ASSERT_TRUE(built.ok());
+  Topology topo = std::move(built).value();
+  RouteTable routes(&topo);
+  sim::Simulator simulator;
+  Fabric fabric(&simulator, &topo, &routes);
+
+  const int flows = 1 + static_cast<int>(rng.uniform_int(1, 7));
+  std::vector<FlowId> ids;
+  std::vector<double> caps;
+  for (int i = 0; i < flows; ++i) {
+    FlowOptions options;
+    options.charge_slow_start = false;
+    options.app_cap_mbps = rng.chance(0.5) ? rng.uniform(5.0, 60.0) : 0.0;
+    caps.push_back(options.app_cap_mbps);
+    auto id = fabric.start_flow(chain.front(), chain.back(),
+                                1000 * util::kMB, nullptr, options);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+
+  double total = 0.0;
+  double min_uncapped_rate = 1e18;
+  bool any_uncapped = false;
+  for (int i = 0; i < flows; ++i) {
+    const double rate = fabric.current_rate_mbps(ids[static_cast<std::size_t>(i)]);
+    EXPECT_GT(rate, 0.0);
+    if (caps[static_cast<std::size_t>(i)] > 0.0) {
+      EXPECT_LE(rate, caps[static_cast<std::size_t>(i)] + 1e-6);
+    } else {
+      any_uncapped = true;
+      min_uncapped_rate = std::min(min_uncapped_rate, rate);
+    }
+    total += rate;
+  }
+  const double bottleneck =
+      *std::min_element(capacities.begin(), capacities.end());
+  // Feasibility: never exceed the bottleneck.
+  EXPECT_LE(total, bottleneck + 1e-6);
+  // Saturation / optimality: either the bottleneck is full, or every flow
+  // sits at its own cap (and at least TCP-window limits don't bind here).
+  if (any_uncapped) {
+    EXPECT_NEAR(total, bottleneck, bottleneck * 0.02);
+    // Max-min fairness: all uncapped flows share one water level.
+    for (int i = 0; i < flows; ++i) {
+      if (caps[static_cast<std::size_t>(i)] == 0.0) {
+        EXPECT_NEAR(fabric.current_rate_mbps(ids[static_cast<std::size_t>(i)]),
+                    min_uncapped_rate, min_uncapped_rate * 0.01);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFlowSets, MaxMinProperty,
+                         ::testing::Range<std::uint64_t>(100, 116));
+
+}  // namespace
+}  // namespace droute::net

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "net/routing.h"
+#include "scenario/science_dmz.h"
+#include "util/units.h"
+
+namespace droute::scenario {
+namespace {
+
+TEST(ScienceDmz, DirectPathCrossesTheFirewall) {
+  auto world = ScienceDmzWorld::create();
+  net::RouteTable routes(&world->topology());
+  const auto front = world->topology().find_node("fe.cloud.example").value();
+  const auto route = routes.route(world->lab_host(), front).value();
+  EXPECT_NE(std::find(route.nodes.begin(), route.nodes.end(),
+                      world->firewall()),
+            route.nodes.end());
+  EXPECT_NEAR(routes.min_middlebox_mbps(route), 6.0, 1e-9);
+}
+
+TEST(ScienceDmz, DtnLegAvoidsTheFirewall) {
+  auto world = ScienceDmzWorld::create();
+  net::RouteTable routes(&world->topology());
+  // Leg 1: lab -> DTN rides the research VLAN.
+  const auto leg1 = routes.route(world->lab_host(), world->dtn()).value();
+  EXPECT_EQ(std::find(leg1.nodes.begin(), leg1.nodes.end(),
+                      world->firewall()),
+            leg1.nodes.end());
+  // Leg 2: DTN -> cloud goes straight out the border.
+  const auto front = world->topology().find_node("fe.cloud.example").value();
+  const auto leg2 = routes.route(world->dtn(), front).value();
+  EXPECT_EQ(std::find(leg2.nodes.begin(), leg2.nodes.end(),
+                      world->firewall()),
+            leg2.nodes.end());
+  EXPECT_DOUBLE_EQ(routes.min_middlebox_mbps(leg2), 0.0);
+}
+
+TEST(ScienceDmz, OrdinaryTrafficDoesNotShortcutThroughTheDtn) {
+  // Shortest-path routing must not turn the DTN host into a transit router
+  // for firewalled traffic.
+  auto world = ScienceDmzWorld::create();
+  net::RouteTable routes(&world->topology());
+  const auto front = world->topology().find_node("fe.cloud.example").value();
+  const auto route = routes.route(world->lab_host(), front).value();
+  EXPECT_EQ(std::find(route.nodes.begin(), route.nodes.end(), world->dtn()),
+            route.nodes.end());
+}
+
+TEST(ScienceDmz, DtnDetourDemolishesTheFirewallBottleneck) {
+  auto direct_world = ScienceDmzWorld::create();
+  const auto direct = direct_world->run_upload(
+      ScienceDmzWorld::Path::kThroughFirewall, 100 * util::kMB);
+  auto dtn_world = ScienceDmzWorld::create();
+  const auto detour =
+      dtn_world->run_upload(ScienceDmzWorld::Path::kViaDtn, 100 * util::kMB);
+  ASSERT_TRUE(direct.ok() && detour.ok());
+  // 100 MB at ~6 Mbps ≈ 133 s vs ~2 s through the DMZ.
+  EXPECT_NEAR(direct.value(), 133.0, 10.0);
+  EXPECT_GT(direct.value(), detour.value() * 20.0);
+  EXPECT_EQ(dtn_world->server().object_count(), 1u);
+}
+
+TEST(ScienceDmz, GainScalesWithFirewallCeiling) {
+  double previous_direct = 1e18;
+  for (const double mbps : {2.0, 8.0, 32.0}) {
+    ScienceDmzConfig config;
+    config.firewall_per_flow_mbps = mbps;
+    auto world = ScienceDmzWorld::create(config);
+    const auto direct = world->run_upload(
+        ScienceDmzWorld::Path::kThroughFirewall, 50 * util::kMB);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_LT(direct.value(), previous_direct);
+    previous_direct = direct.value();
+  }
+}
+
+TEST(ScienceDmz, FirewallCanBeOpenedAtRuntime) {
+  // The Topology::set_middlebox ablation hook: removing the inspection
+  // ceiling makes the direct path competitive again.
+  auto world = ScienceDmzWorld::create();
+  ASSERT_TRUE(world->topology().set_middlebox(world->firewall(), 0.0).ok());
+  const auto direct = world->run_upload(
+      ScienceDmzWorld::Path::kThroughFirewall, 100 * util::kMB);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_LT(direct.value(), 5.0);
+}
+
+}  // namespace
+}  // namespace droute::scenario

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace droute::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator simulator;
+  EXPECT_DOUBLE_EQ(simulator.now(), 0.0);
+  EXPECT_EQ(simulator.pending(), 0u);
+  EXPECT_FALSE(simulator.step());
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(3.0, [&] { order.push_back(3); });
+  simulator.schedule_at(1.0, [&] { order.push_back(1); });
+  simulator.schedule_at(2.0, [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator simulator;
+  double fired_at = -1.0;
+  simulator.schedule_at(2.0, [&] {
+    simulator.schedule_in(3.0, [&] { fired_at = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator simulator;
+  simulator.schedule_at(10.0, [] {});
+  simulator.run();
+  EXPECT_THROW(simulator.schedule_at(5.0, [] {}), std::logic_error);
+  EXPECT_THROW(simulator.schedule_in(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id = simulator.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(simulator.cancel(id));
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceIsNoop) {
+  Simulator simulator;
+  const EventId id = simulator.schedule_at(1.0, [] {});
+  EXPECT_TRUE(simulator.cancel(id));
+  EXPECT_FALSE(simulator.cancel(id));
+  EXPECT_FALSE(simulator.cancel(EventId{}));
+}
+
+TEST(Simulator, CancelledEventsDoNotBlockNextEventTime) {
+  Simulator simulator;
+  const EventId early = simulator.schedule_at(1.0, [] {});
+  simulator.schedule_at(2.0, [] {});
+  simulator.cancel(early);
+  EXPECT_DOUBLE_EQ(simulator.next_event_time(), 2.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(1.0, [&] { ++fired; });
+  simulator.schedule_at(5.0, [&] { ++fired; });
+  simulator.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, HandlersCanScheduleMore) {
+  Simulator simulator;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) simulator.schedule_in(0.5, chain);
+  };
+  simulator.schedule_in(0.5, chain);
+  simulator.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_NEAR(simulator.now(), 50.0, 1e-9);
+}
+
+TEST(Simulator, EventBudgetGuardsRunaway) {
+  Simulator simulator;
+  std::function<void()> forever = [&] { simulator.schedule_in(0.1, forever); };
+  simulator.schedule_in(0.1, forever);
+  EXPECT_THROW(simulator.run(/*max_events=*/1000), std::logic_error);
+}
+
+TEST(Simulator, ExecutedEventsCount) {
+  Simulator simulator;
+  for (int i = 0; i < 25; ++i) simulator.schedule_in(i, [] {});
+  simulator.run();
+  EXPECT_EQ(simulator.executed_events(), 25u);
+}
+
+TEST(Simulator, NextEventTimeInfinityWhenEmpty) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.next_event_time(), kTimeInfinity);
+}
+
+TEST(Simulator, CancelFromWithinHandler) {
+  Simulator simulator;
+  bool second_fired = false;
+  EventId second;
+  simulator.schedule_at(1.0, [&] { simulator.cancel(second); });
+  second = simulator.schedule_at(2.0, [&] { second_fired = true; });
+  simulator.run();
+  EXPECT_FALSE(second_fired);
+}
+
+}  // namespace
+}  // namespace droute::sim

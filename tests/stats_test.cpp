@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/overlap.h"
+
+namespace droute::stats {
+namespace {
+
+TEST(Descriptive, BasicMoments) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  // Sample stddev with n-1: variance = 32/7.
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EdgeCases) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev({}), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(sample_stddev(one), 0.0);
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Descriptive, SummaryFields) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(even).median, 2.5);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  const std::vector<double> xs{10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
+}
+
+TEST(Descriptive, KeepLastImplementsPaperProtocol) {
+  // "mean of the last five runs among a total of seven runs" (Sec II):
+  // the first two warm-up runs are dropped.
+  const std::vector<double> runs{100.0, 90.0, 10.0, 10.0, 10.0, 10.0, 10.0};
+  const Summary s = keep_last_summary(runs, 5);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  // Fewer samples than keep_last: keep everything.
+  const Summary all = keep_last_summary(std::vector<double>{5.0, 7.0}, 5);
+  EXPECT_EQ(all.count, 2u);
+}
+
+// ---------------------------------------------------------------- overlap ----
+
+TEST(Overlap, PaperTableIVExample) {
+  // Sec III-B worked example: Dropbox direct 177.89 +/- 36.03 vs detours
+  // 237.78 +/- 56.1 and 226.43 +/- 50.48 — all overlapping.
+  const Interval direct{177.89, 36.03};
+  const Interval via_ua{237.78, 56.10};
+  const Interval via_umich{226.43, 50.48};
+  EXPECT_TRUE(error_bars_overlap(direct, via_ua));
+  EXPECT_TRUE(error_bars_overlap(direct, via_umich));
+  EXPECT_FALSE(clearly_faster(via_ua, direct));
+  EXPECT_FALSE(clearly_faster(direct, via_ua));
+}
+
+TEST(Overlap, ClearSeparation) {
+  // Table II-style case: UBC direct 86.92 vs via UAlberta 35.79 with small
+  // error bars — clearly separated.
+  const Interval direct{86.92, 2.0};
+  const Interval detour{35.79, 2.0};
+  EXPECT_FALSE(error_bars_overlap(direct, detour));
+  EXPECT_TRUE(clearly_faster(detour, direct));
+  EXPECT_FALSE(clearly_faster(direct, detour));
+}
+
+TEST(Overlap, TouchingBarsCountAsOverlap) {
+  const Interval a{10.0, 2.0};
+  const Interval b{14.0, 2.0};  // a.high == b.low == 12
+  EXPECT_TRUE(error_bars_overlap(a, b));
+}
+
+TEST(Overlap, WelchTDetectsDifference) {
+  const Interval fast{35.79, 2.0};
+  const Interval slow{86.92, 2.0};
+  const double t = welch_t(slow, 5, fast, 5);
+  EXPECT_GT(t, 10.0);  // wildly significant
+  const double df = welch_df(slow, 5, fast, 5);
+  EXPECT_NEAR(df, 8.0, 0.1);  // equal variances -> ~n1+n2-2
+}
+
+TEST(Overlap, WelchTEdgeCases) {
+  const Interval a{5.0, 0.0};
+  EXPECT_DOUBLE_EQ(welch_t(a, 0, a, 5), 0.0);
+  EXPECT_DOUBLE_EQ(welch_t(a, 5, a, 5), 0.0);  // zero variance, equal means
+  EXPECT_DOUBLE_EQ(welch_df(a, 1, a, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace droute::stats

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "scenario/north_america.h"
+#include "trace/traceroute.h"
+
+namespace droute::trace {
+namespace {
+
+class ScenarioTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario::WorldConfig config;
+    config.cross_traffic = false;
+    world_ = scenario::World::create(config);
+  }
+  std::unique_ptr<scenario::World> world_;
+};
+
+TEST_F(ScenarioTrace, UbcToGoogleCrossesPacificWave) {
+  // Reproduces Fig 5: UBC's PlanetLab traffic to Google goes through
+  // vncv1rtr2.canarie.ca and then the PacificWave hop.
+  auto result = world_->tracer().trace(
+      world_->node("planetlab1.cs.ubc.ca"),
+      world_->node("sea15s01-in-f138.1e100.net"));
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const std::string text = result.value().render(world_->topology());
+  EXPECT_NE(text.find("vncv1rtr2.canarie.ca"), std::string::npos);
+  EXPECT_NE(text.find("pacificwave.net"), std::string::npos);
+  EXPECT_NE(text.find("traceroute to sea15s01-in-f138.1e100.net"),
+            std::string::npos);
+}
+
+TEST_F(ScenarioTrace, UalbertaToGoogleSkipsPacificWaveAndHasSilentHop) {
+  // Reproduces Fig 6: UAlberta's traffic shares vncv1rtr2 but exits via the
+  // direct (unresponsive, "* * *") Google peering edge.
+  auto result = world_->tracer().trace(
+      world_->node("cluster.cs.ualberta.ca"),
+      world_->node("sea15s01-in-f138.1e100.net"));
+  ASSERT_TRUE(result.ok());
+  const std::string text = result.value().render(world_->topology());
+  EXPECT_NE(text.find("vncv1rtr2.canarie.ca"), std::string::npos);
+  EXPECT_NE(text.find("edmn1rtr2.canarie.ca"), std::string::npos);
+  EXPECT_EQ(text.find("pacificwave.net"), std::string::npos);
+  EXPECT_NE(text.find("* * *"), std::string::npos);
+}
+
+TEST_F(ScenarioTrace, DiffFindsDivergenceAtCanarie) {
+  // The paper's Sec III-A observation: both paths cross vncv1rtr2 once and
+  // diverge right after it (pacificwave vs the unknown peering hop).
+  const auto fig5 = world_->tracer()
+                        .trace(world_->node("planetlab1.cs.ubc.ca"),
+                               world_->node("sea15s01-in-f138.1e100.net"))
+                        .value();
+  const auto fig6 = world_->tracer()
+                        .trace(world_->node("cluster.cs.ualberta.ca"),
+                               world_->node("sea15s01-in-f138.1e100.net"))
+                        .value();
+  const RouteDiff diff = Tracer::diff(fig5, fig6);
+  const net::NodeId vncv1 = world_->node("vncv1rtr2.canarie.ca");
+  EXPECT_NE(std::find(diff.shared_nodes.begin(), diff.shared_nodes.end(),
+                      vncv1),
+            diff.shared_nodes.end());
+  ASSERT_TRUE(diff.divergence_point.has_value());
+  EXPECT_EQ(diff.divergence_point.value(), vncv1);
+  // The PacificWave hop is unique to the UBC path.
+  const net::NodeId pwave =
+      world_->node("google-1-lo-std-707.sttlwa.pacificwave.net");
+  EXPECT_NE(std::find(diff.only_first.begin(), diff.only_first.end(), pwave),
+            diff.only_first.end());
+}
+
+TEST_F(ScenarioTrace, HopRttsAreMonotonic) {
+  const auto result = world_->tracer()
+                          .trace(world_->node("planetlab1.cs.purdue.edu"),
+                                 world_->node("content.dropboxapi.com"))
+                          .value();
+  double last = 0.0;
+  for (const Hop& hop : result.hops) {
+    EXPECT_GE(hop.rtt_s, last);
+    last = hop.rtt_s;
+  }
+  EXPECT_GE(result.hops.size(), 4u);
+}
+
+TEST_F(ScenarioTrace, SilentHopsHideNameAndIp) {
+  const auto result = world_->tracer()
+                          .trace(world_->node("cluster.cs.ualberta.ca"),
+                                 world_->node("sea15s01-in-f138.1e100.net"))
+                          .value();
+  bool found_silent = false;
+  for (const Hop& hop : result.hops) {
+    if (hop.silent) {
+      found_silent = true;
+      EXPECT_TRUE(hop.name.empty());
+      EXPECT_TRUE(hop.ip.empty());
+    }
+  }
+  EXPECT_TRUE(found_silent);
+  // Silent hops are excluded from the responsive list.
+  for (net::NodeId node : result.responsive_nodes()) {
+    EXPECT_NE(node, world_->node("172-26-244-22.priv.ualberta.ca"));
+  }
+}
+
+TEST_F(ScenarioTrace, UnroutablePairReportsError) {
+  // xgen host has no route to an unpeered island? All nodes are connected in
+  // the scenario, so synthesize unreachability by failing a cut link.
+  world_->fabric().fail_link(
+      world_->topology().find_link(world_->node("planetlab1.ucla.edu"),
+                                   world_->node("pl-gw.ucla.edu"))
+          .value());
+  auto result = world_->tracer().trace(
+      world_->node("planetlab1.ucla.edu"),
+      world_->node("sea15s01-in-f138.1e100.net"));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace droute::trace
+
+namespace droute::trace {
+namespace {
+
+TEST_F(ScenarioTrace, SymmetricPairsReportNoAsymmetry) {
+  // With symmetric policy modelling, research-network pairs traverse the
+  // same routers in both directions; the detector must stay quiet.
+  auto ubc_ua = world_->tracer().round_trip_asymmetry(
+      world_->node("planetlab1.cs.ubc.ca"),
+      world_->node("cluster.cs.ualberta.ca"));
+  ASSERT_TRUE(ubc_ua.ok());
+  EXPECT_FALSE(ubc_ua.value().asymmetric);
+
+  auto ua_google = world_->tracer().round_trip_asymmetry(
+      world_->node("cluster.cs.ualberta.ca"),
+      world_->node("sea15s01-in-f138.1e100.net"));
+  ASSERT_TRUE(ua_google.ok());
+  EXPECT_FALSE(ua_google.value().asymmetric);
+}
+
+TEST_F(ScenarioTrace, PurdueOneDriveRoundTripAsymmetryDetected) {
+  // Purdue -> OneDrive rides the CommodityM override; OneDrive -> Purdue
+  // rides its own "cloud"-tag override through the same AS but entering at
+  // the same router — still the same node set. Break symmetry explicitly:
+  // drop the return-path override's link so the reverse route re-routes via
+  // Internet2 while the forward keeps commodity transit.
+  const auto forward_link = world_->topology().find_link(
+      world_->node("ae-7.cr2.commodity-m.net"),
+      world_->node("msedge1.sea.microsoft.com"));
+  ASSERT_TRUE(forward_link.has_value());
+  // Fail only the commodity->microsoft direction: forward Purdue->OneDrive
+  // now re-routes (override link still up but next AS unreachable?) — use
+  // the reverse instead: fail microsoft->commodity.
+  const auto reverse_link = world_->topology().find_link(
+      world_->node("msedge1.sea.microsoft.com"),
+      world_->node("ae-7.cr2.commodity-m.net"));
+  ASSERT_TRUE(reverse_link.has_value());
+  world_->fabric().fail_link(reverse_link.value());
+
+  auto asymmetry = world_->tracer().round_trip_asymmetry(
+      world_->node("planetlab1.cs.purdue.edu"),
+      world_->node("onedrive-fe.wns.windows.com"));
+  ASSERT_TRUE(asymmetry.ok());
+  EXPECT_TRUE(asymmetry.value().asymmetric);
+  // The commodity router appears only on the forward path now.
+  const auto cm = world_->node("ae-7.cr2.commodity-m.net");
+  EXPECT_NE(std::find(asymmetry.value().forward_only.begin(),
+                      asymmetry.value().forward_only.end(), cm),
+            asymmetry.value().forward_only.end());
+}
+
+}  // namespace
+}  // namespace droute::trace

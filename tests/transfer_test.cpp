@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include "scenario/north_america.h"
+#include "transfer/api_upload.h"
+#include "transfer/detour.h"
+#include "transfer/file_spec.h"
+#include "transfer/parallel.h"
+#include "transfer/rsync_engine.h"
+#include "util/units.h"
+
+namespace droute::transfer {
+namespace {
+
+using cloud::ProviderKind;
+using scenario::World;
+using scenario::WorldConfig;
+
+std::unique_ptr<World> quiet_world(std::uint64_t seed = 1) {
+  WorldConfig config;
+  config.seed = seed;
+  config.cross_traffic = false;
+  return World::create(config);
+}
+
+// --------------------------------------------------------------- file spec ----
+
+TEST(FileSpec, DigestsAreDeterministicAndPositional) {
+  const FileSpec file = make_file_mb(10, 42);
+  EXPECT_EQ(file.bytes, 10 * util::kMB);
+  EXPECT_EQ(file.chunk_digest(0, 1000), file.chunk_digest(0, 1000));
+  EXPECT_NE(file.chunk_digest(0, 1000), file.chunk_digest(1000, 1000));
+  EXPECT_NE(file.chunk_digest(0, 1000), file.chunk_digest(0, 2000));
+  const FileSpec other = make_file_mb(10, 43);
+  EXPECT_NE(file.chunk_digest(0, 1000), other.chunk_digest(0, 1000));
+}
+
+// -------------------------------------------------------------- api upload ----
+
+TEST(ApiUpload, DeliversAndCommitsObject) {
+  auto world = quiet_world();
+  const FileSpec file = make_file_mb(10, 1);
+  UploadResult result;
+  world->api_engine(ProviderKind::kGoogleDrive)
+      .upload(world->intermediate_node(scenario::Intermediate::kUAlberta),
+              file, [&](const UploadResult& r) { result = r; });
+  world->simulator().run();
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_GT(result.duration_s(), 0.0);
+  // 10 MB / 8 MiB chunks = 2 chunks.
+  EXPECT_EQ(result.chunks, 2);
+  EXPECT_GT(result.wire_bytes, file.bytes);  // headers included
+  const auto object =
+      world->server(ProviderKind::kGoogleDrive).lookup(file.name);
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->size, file.bytes);
+}
+
+TEST(ApiUpload, TimeScalesWithSize) {
+  auto world = quiet_world();
+  double t10 = 0.0, t50 = 0.0;
+  for (auto [mb, out] : {std::pair<int, double*>{10, &t10}, {50, &t50}}) {
+    UploadResult result;
+    world->api_engine(ProviderKind::kDropbox)
+        .upload(world->intermediate_node(scenario::Intermediate::kUAlberta),
+                make_file_mb(static_cast<std::uint64_t>(mb),
+                             static_cast<std::uint64_t>(mb)),
+                [&](const UploadResult& r) { result = r; });
+    world->simulator().run();
+    ASSERT_TRUE(result.success);
+    *out = result.duration_s();
+  }
+  EXPECT_GT(t50, t10 * 3.5);
+  EXPECT_LT(t50, t10 * 6.5);
+}
+
+TEST(ApiUpload, OAuthRefreshChargedOnce) {
+  auto world = quiet_world();
+  cloud::OAuthSession oauth("test-client", 3600.0, 5);
+  ApiUploadOptions options;
+  options.oauth = &oauth;
+
+  UploadResult first, second;
+  auto& engine = world->api_engine(ProviderKind::kGoogleDrive);
+  const auto client =
+      world->intermediate_node(scenario::Intermediate::kUAlberta);
+  engine.upload(client, make_file_mb(10, 1),
+                [&](const UploadResult& r) { first = r; }, options);
+  world->simulator().run();
+  engine.upload(client, make_file_mb(10, 2),
+                [&](const UploadResult& r) { second = r; }, options);
+  world->simulator().run();
+  ASSERT_TRUE(first.success && second.success);
+  EXPECT_TRUE(first.token_refreshed);
+  EXPECT_FALSE(second.token_refreshed);  // token still fresh
+  EXPECT_EQ(oauth.refresh_count(), 1u);
+  EXPECT_GT(first.duration_s(), second.duration_s());
+}
+
+TEST(ApiUpload, FailsCleanlyWhenUnroutable) {
+  auto world = quiet_world();
+  const auto client = world->client_node(scenario::Client::kUCLA);
+  // Cut UCLA off at its gateway.
+  world->fabric().fail_link(
+      world->topology()
+          .find_link(client, world->node("pl-gw.ucla.edu"))
+          .value());
+  UploadResult result;
+  result.success = true;
+  world->api_engine(ProviderKind::kDropbox)
+      .upload(client, make_file_mb(10, 1),
+              [&](const UploadResult& r) { result = r; });
+  world->simulator().run();
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(world->server(ProviderKind::kDropbox).open_sessions(), 0u);
+}
+
+TEST(ApiUpload, LinkFailureMidTransferAbandonsSession) {
+  auto world = quiet_world();
+  const auto client = world->client_node(scenario::Client::kUBC);
+  UploadResult result;
+  result.success = true;
+  world->api_engine(ProviderKind::kGoogleDrive)
+      .upload(client, make_file_mb(100, 1),
+              [&](const UploadResult& r) { result = r; });
+  world->simulator().schedule_in(10.0, [&] {
+    world->fabric().fail_link(
+        world->topology()
+            .find_link(world->node("planetlab1.cs.ubc.ca"),
+                       world->node("cs-gw.net.ubc.ca"))
+            .value());
+  });
+  world->simulator().run();
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(world->server(ProviderKind::kGoogleDrive).open_sessions(), 0u);
+}
+
+// ------------------------------------------------------------------ rsync ----
+
+TEST(RsyncEngine, PushMovesPayloadPlusFraming) {
+  auto world = quiet_world();
+  RsyncEngine engine(&world->fabric());
+  RsyncResult result;
+  engine.push(world->client_node(scenario::Client::kUBC),
+              world->intermediate_node(scenario::Intermediate::kUAlberta),
+              make_file_mb(10, 3),
+              [&](const RsyncResult& r) { result = r; });
+  world->simulator().run();
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_GT(result.forward_wire_bytes, 10 * util::kMB);
+  EXPECT_LT(result.forward_wire_bytes, 10 * util::kMB + 10000);
+  EXPECT_LT(result.reverse_wire_bytes, 2000u);  // no basis: tiny signature
+  EXPECT_GT(result.cpu_s, 0.0);
+}
+
+TEST(RsyncEngine, BasisOverlapShrinksForwardBytes) {
+  auto world = quiet_world();
+  RsyncEngine engine(&world->fabric());
+  RsyncResult cold, warm;
+  RsyncOptions warm_options;
+  warm_options.basis_overlap = 0.9;
+  engine.push(world->client_node(scenario::Client::kUBC),
+              world->intermediate_node(scenario::Intermediate::kUAlberta),
+              make_file_mb(10, 4), [&](const RsyncResult& r) { cold = r; });
+  world->simulator().run();
+  engine.push(world->client_node(scenario::Client::kUBC),
+              world->intermediate_node(scenario::Intermediate::kUAlberta),
+              make_file_mb(10, 4), [&](const RsyncResult& r) { warm = r; },
+              warm_options);
+  world->simulator().run();
+  ASSERT_TRUE(cold.success && warm.success);
+  EXPECT_LT(warm.forward_wire_bytes, cold.forward_wire_bytes / 5);
+  EXPECT_GT(warm.reverse_wire_bytes, cold.reverse_wire_bytes);
+  EXPECT_LT(warm.duration_s(), cold.duration_s());
+}
+
+// ----------------------------------------------------------------- detour ----
+
+TEST(Detour, StoreAndForwardSumsLegs) {
+  auto world = quiet_world();
+  DetourResult result;
+  world->detour_engine(ProviderKind::kGoogleDrive)
+      .transfer(world->client_node(scenario::Client::kUBC),
+                world->intermediate_node(scenario::Intermediate::kUAlberta),
+                make_file_mb(20, 5),
+                [&](const DetourResult& r) { result = r; });
+  world->simulator().run();
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_GT(result.leg1_s, 0.0);
+  EXPECT_GT(result.leg2_s, 0.0);
+  EXPECT_NEAR(result.duration_s(), result.leg1_s + result.leg2_s, 1e-6);
+}
+
+TEST(Detour, PipelinedBeatsStoreAndForward) {
+  auto run = [](DetourMode mode) {
+    auto world = quiet_world();
+    DetourResult result;
+    DetourOptions options;
+    options.mode = mode;
+    world->detour_engine(ProviderKind::kGoogleDrive)
+        .transfer(world->client_node(scenario::Client::kUBC),
+                  world->intermediate_node(scenario::Intermediate::kUAlberta),
+                  make_file_mb(60, 6),
+                  [&](const DetourResult& r) { result = r; }, options);
+    world->simulator().run();
+    EXPECT_TRUE(result.success) << result.error;
+    return result.duration_s();
+  };
+  const double saf = run(DetourMode::kStoreAndForward);
+  const double pipe = run(DetourMode::kPipelined);
+  EXPECT_LT(pipe, saf * 0.75);
+  // Pipelining cannot beat the slower leg alone.
+  EXPECT_GT(pipe, saf / 2.5);
+}
+
+TEST(Detour, PipelinedCommitsIntactObject) {
+  auto world = quiet_world();
+  const FileSpec file = make_file_mb(30, 7);
+  DetourResult result;
+  DetourOptions options;
+  options.mode = DetourMode::kPipelined;
+  world->detour_engine(ProviderKind::kOneDrive)
+      .transfer(world->client_node(scenario::Client::kUBC),
+                world->intermediate_node(scenario::Intermediate::kUAlberta),
+                file, [&](const DetourResult& r) { result = r; }, options);
+  world->simulator().run();
+  ASSERT_TRUE(result.success) << result.error;
+  const auto object = world->server(ProviderKind::kOneDrive).lookup(file.name);
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->size, file.bytes);
+}
+
+TEST(Detour, FailureInLegOneReported) {
+  auto world = quiet_world();
+  const auto client = world->client_node(scenario::Client::kUBC);
+  world->fabric().fail_link(
+      world->topology()
+          .find_link(world->node("planetlab1.cs.ubc.ca"),
+                     world->node("cs-gw.net.ubc.ca"))
+          .value());
+  DetourResult result;
+  result.success = true;
+  world->detour_engine(ProviderKind::kGoogleDrive)
+      .transfer(client,
+                world->intermediate_node(scenario::Intermediate::kUAlberta),
+                make_file_mb(10, 8),
+                [&](const DetourResult& r) { result = r; });
+  world->simulator().run();
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.error.find("leg 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace droute::transfer
+
+// ---------------------------------------------------------------- parallel ----
+
+namespace droute::transfer {
+namespace {
+
+TEST(ParallelPush, StreamsDefeatPerFlowPolicer) {
+  // UBC -> Google front end crosses the 9.3 Mbps per-flow PacificWave
+  // policer; N stripes each get their own allowance.
+  auto run = [](int streams) {
+    scenario::WorldConfig config;
+    config.cross_traffic = false;
+    auto world = scenario::World::create(config);
+    ParallelPushEngine engine(&world->fabric());
+    ParallelPushResult result;
+    engine.push(world->client_node(scenario::Client::kUBC),
+                world->provider_node(cloud::ProviderKind::kGoogleDrive),
+                make_file_mb(40, 1), streams,
+                [&](const ParallelPushResult& r) { result = r; });
+    world->simulator().run();
+    EXPECT_TRUE(result.success) << result.error;
+    return result.duration_s();
+  };
+  const double one = run(1);
+  const double four = run(4);
+  EXPECT_NEAR(one / four, 4.0, 0.5);
+}
+
+TEST(ParallelPush, BoundedByLinkCapacityNotStreams) {
+  // UBC -> UAlberta is capacity-bound (50 Mbps research uplink): extra
+  // streams cannot exceed the shared link.
+  auto run = [](int streams) {
+    scenario::WorldConfig config;
+    config.cross_traffic = false;
+    auto world = scenario::World::create(config);
+    ParallelPushEngine engine(&world->fabric());
+    ParallelPushResult result;
+    engine.push(world->client_node(scenario::Client::kUBC),
+                world->intermediate_node(scenario::Intermediate::kUAlberta),
+                make_file_mb(40, 2), streams,
+                [&](const ParallelPushResult& r) { result = r; });
+    world->simulator().run();
+    EXPECT_TRUE(result.success);
+    return result.duration_s();
+  };
+  const double two = run(2);
+  const double eight = run(8);
+  // 2 streams already saturate the 50 Mbps link; 8 gain little.
+  EXPECT_GT(eight, two * 0.8);
+}
+
+TEST(ParallelPush, SingleStreamMatchesPlainFlow) {
+  scenario::WorldConfig config;
+  config.cross_traffic = false;
+  auto world = scenario::World::create(config);
+  ParallelPushEngine engine(&world->fabric());
+  ParallelPushResult result;
+  engine.push(world->client_node(scenario::Client::kUBC),
+              world->intermediate_node(scenario::Intermediate::kUAlberta),
+              make_file_mb(20, 3), 1,
+              [&](const ParallelPushResult& r) { result = r; });
+  world->simulator().run();
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.streams, 1);
+  EXPECT_NEAR(result.slowest_stream_s, result.duration_s(), 1e-9);
+}
+
+TEST(ParallelPush, MoreStreamsThanBytesIsClamped) {
+  scenario::WorldConfig config;
+  config.cross_traffic = false;
+  auto world = scenario::World::create(config);
+  ParallelPushEngine engine(&world->fabric());
+  FileSpec tiny;
+  tiny.name = "tiny";
+  tiny.bytes = 3;
+  tiny.seed = 1;
+  ParallelPushResult result;
+  engine.push(world->client_node(scenario::Client::kUBC),
+              world->intermediate_node(scenario::Intermediate::kUAlberta),
+              tiny, 16, [&](const ParallelPushResult& r) { result = r; });
+  world->simulator().run();
+  EXPECT_TRUE(result.success);
+}
+
+TEST(ParallelPush, FailureReportedOnce) {
+  scenario::WorldConfig config;
+  config.cross_traffic = false;
+  auto world = scenario::World::create(config);
+  // Cut UBC off entirely: the first stripe is rejected synchronously.
+  world->fabric().fail_link(
+      world->topology()
+          .find_link(world->node("planetlab1.cs.ubc.ca"),
+                     world->node("cs-gw.net.ubc.ca"))
+          .value());
+  ParallelPushEngine engine(&world->fabric());
+  int calls = 0;
+  ParallelPushResult result;
+  engine.push(world->client_node(scenario::Client::kUBC),
+              world->intermediate_node(scenario::Intermediate::kUAlberta),
+              make_file_mb(10, 4), 4, [&](const ParallelPushResult& r) {
+                ++calls;
+                result = r;
+              });
+  world->simulator().run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(result.success);
+}
+
+}  // namespace
+}  // namespace droute::transfer

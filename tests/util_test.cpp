@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/blob.h"
+#include "util/logging.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+namespace droute::util {
+namespace {
+
+// ---------------------------------------------------------------- units ----
+
+TEST(Units, MbpsBytesRoundTrip) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(8.0), 1e6);
+  EXPECT_DOUBLE_EQ(bytes_per_sec_to_mbps(1e6), 8.0);
+  for (double rate : {0.1, 1.0, 9.3, 44.0, 10000.0}) {
+    EXPECT_NEAR(bytes_per_sec_to_mbps(mbps_to_bytes_per_sec(rate)), rate,
+                1e-12);
+  }
+}
+
+TEST(Units, SecondsAtRate) {
+  // 100 MB at 8 Mbps = 100e6 bytes at 1e6 B/s = 100 s.
+  EXPECT_DOUBLE_EQ(seconds_at_rate(100 * kMB, 8.0), 100.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(ms(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(us(1500.0), 0.0015);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 9);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  constexpr int kN = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.pareto(1.3, 1.0, 100.0);
+    ASSERT_GE(x, 1.0 - 1e-9);
+    ASSERT_LE(x, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng rng(19);
+  constexpr int kN = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.lognormal_mean_cv(5.0, 0.4);
+  EXPECT_NEAR(sum / kN, 5.0, 0.12);
+}
+
+TEST(Rng, LognormalZeroCvIsExact) {
+  Rng rng(21);
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(7.5, 0.0), 7.5);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+// ---------------------------------------------------------------- result ----
+
+TEST(Result, SuccessAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_EQ(ok.value_or(9), 5);
+
+  Result<int> err(Error::make("boom", 3));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().message, "boom");
+  EXPECT_EQ(err.error().code, 3);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(Result, StatusVariants) {
+  EXPECT_TRUE(Status::success().ok());
+  const Status failure = Status::failure("nope", 7);
+  EXPECT_FALSE(failure.ok());
+  EXPECT_EQ(failure.error().code, 7);
+}
+
+TEST(Result, CheckThrowsOnViolation) {
+  EXPECT_THROW(
+      { DROUTE_CHECK(false, "expected failure"); }, std::logic_error);
+}
+
+// ----------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"a", "long-header"});
+  table.add_row({"xxxx", "1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| a    "), std::string::npos);
+  EXPECT_NE(out.find("| long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxx "), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  TextTable table({"k", "v"});
+  table.add_row({"with,comma", "with\"quote"});
+  const std::string csv = table.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_seconds(86.917), "86.92");
+  EXPECT_EQ(fmt_percent(-0.5555), "-55.55%");
+  EXPECT_EQ(fmt_percent(0.6295), "+62.95%");
+  EXPECT_EQ(fmt_mb(100 * kMB), "100");
+  EXPECT_EQ(fmt_mbps(9.3), "9.3 Mbps");
+}
+
+// ------------------------------------------------------------ thread pool ----
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("task failed");
+                        }),
+      std::runtime_error);
+}
+
+// ------------------------------------------------------------------ blob ----
+
+TEST(Blob, DeterministicContent) {
+  Rng a(99), b(99);
+  EXPECT_EQ(make_random_blob(a, 1000), make_random_blob(b, 1000));
+}
+
+TEST(Blob, OddSizesFilled) {
+  Rng rng(1);
+  for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 1023u}) {
+    EXPECT_EQ(make_random_blob(rng, size).size(), size);
+  }
+}
+
+}  // namespace
+}  // namespace droute::util
+
+// --------------------------------------------------------------- logging ----
+
+namespace droute::util {
+namespace {
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kWarn);  // safe default
+}
+
+TEST(Logging, ThresholdRoundTrip) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  // Suppressed statements must not evaluate their stream arguments.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  DROUTE_LOG(kDebug) << count();
+  EXPECT_EQ(evaluations, 0);
+  set_log_threshold(LogLevel::kDebug);
+  DROUTE_LOG(kDebug) << count();
+  EXPECT_EQ(evaluations, 1);
+  set_log_threshold(before);
+}
+
+}  // namespace
+}  // namespace droute::util

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "rsyncx/delta.h"
+#include "rsyncx/patch.h"
+#include "rsyncx/signature.h"
+#include "rsyncx/wire_format.h"
+#include "util/blob.h"
+#include "util/rng.h"
+
+namespace droute::rsyncx {
+namespace {
+
+using util::Blob;
+
+Blob blob_of(std::uint64_t seed, std::size_t size) {
+  util::Rng rng(seed);
+  return util::make_random_blob(rng, size);
+}
+
+TEST(SignatureWire, RoundTrip) {
+  const Blob basis = blob_of(1, 70 * 700 + 123);
+  const Signature sig = compute_signature(basis, 700);
+  const Blob encoded = encode_signature(sig);
+  EXPECT_EQ(encoded.size(), sig.wire_bytes());
+  auto decoded = decode_signature(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().block_size, sig.block_size);
+  EXPECT_EQ(decoded.value().basis_size, sig.basis_size);
+  ASSERT_EQ(decoded.value().blocks.size(), sig.blocks.size());
+  for (std::size_t i = 0; i < sig.blocks.size(); ++i) {
+    EXPECT_EQ(decoded.value().blocks[i].weak, sig.blocks[i].weak);
+    EXPECT_EQ(decoded.value().blocks[i].strong, sig.blocks[i].strong);
+    EXPECT_EQ(decoded.value().blocks[i].index, sig.blocks[i].index);
+  }
+}
+
+TEST(SignatureWire, EmptySignatureRoundTrip) {
+  Signature sig;
+  sig.block_size = 700;
+  sig.basis_size = 0;
+  auto decoded = decode_signature(encode_signature(sig));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().blocks.empty());
+}
+
+TEST(SignatureWire, RejectsCorruption) {
+  const Blob basis = blob_of(2, 7000);
+  Blob encoded = encode_signature(compute_signature(basis, 700));
+  // Bad magic.
+  Blob bad_magic = encoded;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(decode_signature(bad_magic).ok());
+  // Truncations at every boundary class.
+  for (std::size_t cut : {1u, 8u, 15u, 17u, 30u}) {
+    ASSERT_LT(cut, encoded.size());
+    EXPECT_FALSE(decode_signature(
+                     std::span(encoded.data(), encoded.size() - cut))
+                     .ok())
+        << "cut=" << cut;
+  }
+  // Zero block size.
+  Blob zero_block = encoded;
+  zero_block[4] = zero_block[5] = zero_block[6] = zero_block[7] = 0;
+  EXPECT_FALSE(decode_signature(zero_block).ok());
+}
+
+TEST(DeltaWire, RoundTripMixedOps) {
+  util::Rng rng(3);
+  Blob basis = util::make_random_blob(rng, 100000);
+  Blob target = basis;
+  target.insert(target.begin() + 5000, 333, 0xab);  // force literals
+  const Signature sig = compute_signature(basis, 700);
+  const SignatureIndex index(sig);
+  const Delta delta = compute_delta(target, index);
+  ASSERT_GT(delta.ops.size(), 1u);
+
+  const Blob encoded = encode_delta(delta);
+  EXPECT_EQ(encoded.size(), delta.wire_bytes());
+  auto decoded = decode_delta(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+
+  // The decoded delta must reconstruct the identical file.
+  auto rebuilt = apply_delta(basis, decoded.value());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value(), target);
+}
+
+TEST(DeltaWire, RejectsCorruption) {
+  const Blob target = blob_of(4, 5000);
+  Signature empty;
+  empty.block_size = 700;
+  const SignatureIndex index(empty);
+  const Delta delta = compute_delta(target, index);
+  Blob encoded = encode_delta(delta);
+
+  Blob bad_magic = encoded;
+  bad_magic[0] ^= 1;
+  EXPECT_FALSE(decode_delta(bad_magic).ok());
+
+  Blob bad_version = encoded;
+  bad_version[4] = 99;
+  EXPECT_FALSE(decode_delta(bad_version).ok());
+
+  // Truncated literal payload.
+  EXPECT_FALSE(
+      decode_delta(std::span(encoded.data(), encoded.size() - 100)).ok());
+
+  // Trailing garbage.
+  Blob trailing = encoded;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_delta(trailing).ok());
+
+  // Unknown op tag.
+  Blob bad_tag = encoded;
+  bad_tag[24] = 7;  // first op's tag byte
+  EXPECT_FALSE(decode_delta(bad_tag).ok());
+}
+
+TEST(DeltaWire, RejectsSizeLies) {
+  const Blob target = blob_of(5, 2000);
+  Signature empty;
+  empty.block_size = 700;
+  const SignatureIndex index(empty);
+  Delta delta = compute_delta(target, index);
+  // Claim a larger target than the ops produce.
+  delta.target_size += 1;
+  const Blob encoded = encode_delta(delta);
+  EXPECT_FALSE(decode_delta(encoded).ok());
+}
+
+TEST(DeltaWire, FuzzRandomBuffersNeverCrash) {
+  // Decoders must reject arbitrary garbage gracefully.
+  util::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Blob junk = util::make_random_blob(
+        rng, static_cast<std::size_t>(rng.uniform_int(0, 512)));
+    (void)decode_delta(junk);
+    (void)decode_signature(junk);
+  }
+  SUCCEED();
+}
+
+TEST(DeltaWire, FuzzBitflipsEitherFailOrReconstruct) {
+  // A single bit flip in literal payload changes the reconstruction but must
+  // never crash; flips in the framing must be rejected or keep sizes
+  // consistent (apply_delta re-validates everything).
+  util::Rng rng(7);
+  Blob basis = util::make_random_blob(rng, 30000);
+  Blob target = basis;
+  target[100] ^= 0xff;
+  const Signature sig = compute_signature(basis, 700);
+  const SignatureIndex index(sig);
+  const Blob encoded = encode_delta(compute_delta(target, index));
+
+  for (int i = 0; i < 300; ++i) {
+    Blob mutated = encoded;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(mutated.size() - 1)));
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    auto decoded = decode_delta(mutated);
+    if (!decoded.ok()) continue;
+    auto rebuilt = apply_delta(basis, decoded.value());
+    if (!rebuilt.ok()) continue;
+    EXPECT_EQ(rebuilt.value().size(), decoded.value().target_size);
+  }
+}
+
+}  // namespace
+}  // namespace droute::rsyncx
