@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_advisor.dir/bench_abl_advisor.cpp.o"
+  "CMakeFiles/bench_abl_advisor.dir/bench_abl_advisor.cpp.o.d"
+  "bench_abl_advisor"
+  "bench_abl_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

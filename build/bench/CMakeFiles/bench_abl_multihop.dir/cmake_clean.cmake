@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_multihop.dir/bench_abl_multihop.cpp.o"
+  "CMakeFiles/bench_abl_multihop.dir/bench_abl_multihop.cpp.o.d"
+  "bench_abl_multihop"
+  "bench_abl_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_overlap_rule.dir/bench_abl_overlap_rule.cpp.o"
+  "CMakeFiles/bench_abl_overlap_rule.dir/bench_abl_overlap_rule.cpp.o.d"
+  "bench_abl_overlap_rule"
+  "bench_abl_overlap_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_overlap_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_streams.dir/bench_abl_streams.cpp.o"
+  "CMakeFiles/bench_abl_streams.dir/bench_abl_streams.cpp.o.d"
+  "bench_abl_streams"
+  "bench_abl_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

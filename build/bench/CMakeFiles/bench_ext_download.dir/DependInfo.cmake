@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_download.cpp" "bench/CMakeFiles/bench_ext_download.dir/bench_ext_download.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_download.dir/bench_ext_download.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/droute_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/droute_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/droute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/droute_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/droute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/droute_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/droute_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/droute_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droute_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/droute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/droute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/droute_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsyncx/CMakeFiles/droute_rsyncx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_download.dir/bench_ext_download.cpp.o"
+  "CMakeFiles/bench_ext_download.dir/bench_ext_download.cpp.o.d"
+  "bench_ext_download"
+  "bench_ext_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

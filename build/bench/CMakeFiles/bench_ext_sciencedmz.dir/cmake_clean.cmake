@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sciencedmz.dir/bench_ext_sciencedmz.cpp.o"
+  "CMakeFiles/bench_ext_sciencedmz.dir/bench_ext_sciencedmz.cpp.o.d"
+  "bench_ext_sciencedmz"
+  "bench_ext_sciencedmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sciencedmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_locations.dir/bench_fig03_locations.cpp.o"
+  "CMakeFiles/bench_fig03_locations.dir/bench_fig03_locations.cpp.o.d"
+  "bench_fig03_locations"
+  "bench_fig03_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_ubc_dropbox.dir/bench_fig04_ubc_dropbox.cpp.o"
+  "CMakeFiles/bench_fig04_ubc_dropbox.dir/bench_fig04_ubc_dropbox.cpp.o.d"
+  "bench_fig04_ubc_dropbox"
+  "bench_fig04_ubc_dropbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_ubc_dropbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_traceroute_ubc.dir/bench_fig05_traceroute_ubc.cpp.o"
+  "CMakeFiles/bench_fig05_traceroute_ubc.dir/bench_fig05_traceroute_ubc.cpp.o.d"
+  "bench_fig05_traceroute_ubc"
+  "bench_fig05_traceroute_ubc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_traceroute_ubc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

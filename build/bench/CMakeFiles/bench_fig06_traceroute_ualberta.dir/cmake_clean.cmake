@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_traceroute_ualberta.dir/bench_fig06_traceroute_ualberta.cpp.o"
+  "CMakeFiles/bench_fig06_traceroute_ualberta.dir/bench_fig06_traceroute_ualberta.cpp.o.d"
+  "bench_fig06_traceroute_ualberta"
+  "bench_fig06_traceroute_ualberta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_traceroute_ualberta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

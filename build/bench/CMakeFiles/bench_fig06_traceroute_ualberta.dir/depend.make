@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_traceroute_ualberta.
+# This may be replaced when dependencies are built.

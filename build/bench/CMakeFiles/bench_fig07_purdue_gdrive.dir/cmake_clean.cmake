@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_purdue_gdrive.dir/bench_fig07_purdue_gdrive.cpp.o"
+  "CMakeFiles/bench_fig07_purdue_gdrive.dir/bench_fig07_purdue_gdrive.cpp.o.d"
+  "bench_fig07_purdue_gdrive"
+  "bench_fig07_purdue_gdrive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_purdue_gdrive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_purdue_dropbox.dir/bench_fig08_purdue_dropbox.cpp.o"
+  "CMakeFiles/bench_fig08_purdue_dropbox.dir/bench_fig08_purdue_dropbox.cpp.o.d"
+  "bench_fig08_purdue_dropbox"
+  "bench_fig08_purdue_dropbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_purdue_dropbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_purdue_onedrive.dir/bench_fig09_purdue_onedrive.cpp.o"
+  "CMakeFiles/bench_fig09_purdue_onedrive.dir/bench_fig09_purdue_onedrive.cpp.o.d"
+  "bench_fig09_purdue_onedrive"
+  "bench_fig09_purdue_onedrive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_purdue_onedrive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

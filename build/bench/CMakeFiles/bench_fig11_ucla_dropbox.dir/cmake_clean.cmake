@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ucla_dropbox.dir/bench_fig11_ucla_dropbox.cpp.o"
+  "CMakeFiles/bench_fig11_ucla_dropbox.dir/bench_fig11_ucla_dropbox.cpp.o.d"
+  "bench_fig11_ucla_dropbox"
+  "bench_fig11_ucla_dropbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ucla_dropbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ubc_gdrive.dir/bench_table2_ubc_gdrive.cpp.o"
+  "CMakeFiles/bench_table2_ubc_gdrive.dir/bench_table2_ubc_gdrive.cpp.o.d"
+  "bench_table2_ubc_gdrive"
+  "bench_table2_ubc_gdrive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ubc_gdrive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

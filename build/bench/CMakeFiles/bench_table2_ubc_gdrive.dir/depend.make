@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_ubc_gdrive.
+# This may be replaced when dependencies are built.

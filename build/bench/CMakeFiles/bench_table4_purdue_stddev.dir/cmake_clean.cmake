@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_purdue_stddev.dir/bench_table4_purdue_stddev.cpp.o"
+  "CMakeFiles/bench_table4_purdue_stddev.dir/bench_table4_purdue_stddev.cpp.o.d"
+  "bench_table4_purdue_stddev"
+  "bench_table4_purdue_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_purdue_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

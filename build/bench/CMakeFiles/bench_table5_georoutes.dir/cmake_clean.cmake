@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_georoutes.dir/bench_table5_georoutes.cpp.o"
+  "CMakeFiles/bench_table5_georoutes.dir/bench_table5_georoutes.cpp.o.d"
+  "bench_table5_georoutes"
+  "bench_table5_georoutes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_georoutes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

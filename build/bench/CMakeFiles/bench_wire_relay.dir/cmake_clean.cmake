@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_relay.dir/bench_wire_relay.cpp.o"
+  "CMakeFiles/bench_wire_relay.dir/bench_wire_relay.cpp.o.d"
+  "bench_wire_relay"
+  "bench_wire_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libdroute_bench_common.a"
+)

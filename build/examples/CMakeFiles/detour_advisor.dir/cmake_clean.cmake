@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detour_advisor.dir/detour_advisor.cpp.o"
+  "CMakeFiles/detour_advisor.dir/detour_advisor.cpp.o.d"
+  "detour_advisor"
+  "detour_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detour_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

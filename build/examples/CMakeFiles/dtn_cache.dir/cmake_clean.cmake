@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_cache.dir/dtn_cache.cpp.o"
+  "CMakeFiles/dtn_cache.dir/dtn_cache.cpp.o.d"
+  "dtn_cache"
+  "dtn_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

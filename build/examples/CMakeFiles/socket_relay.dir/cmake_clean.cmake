@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_relay.dir/socket_relay.cpp.o"
+  "CMakeFiles/socket_relay.dir/socket_relay.cpp.o.d"
+  "socket_relay"
+  "socket_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("geo")
+subdirs("net")
+subdirs("trace")
+subdirs("rsyncx")
+subdirs("cloud")
+subdirs("transfer")
+subdirs("stats")
+subdirs("measure")
+subdirs("core")
+subdirs("scenario")
+subdirs("wire")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/oauth.cpp" "src/cloud/CMakeFiles/droute_cloud.dir/oauth.cpp.o" "gcc" "src/cloud/CMakeFiles/droute_cloud.dir/oauth.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/droute_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/droute_cloud.dir/provider.cpp.o.d"
+  "/root/repo/src/cloud/storage_server.cpp" "src/cloud/CMakeFiles/droute_cloud.dir/storage_server.cpp.o" "gcc" "src/cloud/CMakeFiles/droute_cloud.dir/storage_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rsyncx/CMakeFiles/droute_rsyncx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/droute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_cloud.dir/oauth.cpp.o"
+  "CMakeFiles/droute_cloud.dir/oauth.cpp.o.d"
+  "CMakeFiles/droute_cloud.dir/provider.cpp.o"
+  "CMakeFiles/droute_cloud.dir/provider.cpp.o.d"
+  "CMakeFiles/droute_cloud.dir/storage_server.cpp.o"
+  "CMakeFiles/droute_cloud.dir/storage_server.cpp.o.d"
+  "libdroute_cloud.a"
+  "libdroute_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/droute_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/droute_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/droute_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/droute_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/multihop.cpp" "src/core/CMakeFiles/droute_core.dir/multihop.cpp.o" "gcc" "src/core/CMakeFiles/droute_core.dir/multihop.cpp.o.d"
+  "/root/repo/src/core/overlay.cpp" "src/core/CMakeFiles/droute_core.dir/overlay.cpp.o" "gcc" "src/core/CMakeFiles/droute_core.dir/overlay.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/droute_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/droute_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/droute_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/droute_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/tiv.cpp" "src/core/CMakeFiles/droute_core.dir/tiv.cpp.o" "gcc" "src/core/CMakeFiles/droute_core.dir/tiv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/droute_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/droute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

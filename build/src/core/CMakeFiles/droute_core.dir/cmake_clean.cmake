@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_core.dir/advisor.cpp.o"
+  "CMakeFiles/droute_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/droute_core.dir/monitor.cpp.o"
+  "CMakeFiles/droute_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/droute_core.dir/multihop.cpp.o"
+  "CMakeFiles/droute_core.dir/multihop.cpp.o.d"
+  "CMakeFiles/droute_core.dir/overlay.cpp.o"
+  "CMakeFiles/droute_core.dir/overlay.cpp.o.d"
+  "CMakeFiles/droute_core.dir/planner.cpp.o"
+  "CMakeFiles/droute_core.dir/planner.cpp.o.d"
+  "CMakeFiles/droute_core.dir/scheduler.cpp.o"
+  "CMakeFiles/droute_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/droute_core.dir/tiv.cpp.o"
+  "CMakeFiles/droute_core.dir/tiv.cpp.o.d"
+  "libdroute_core.a"
+  "libdroute_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_geo.dir/geo.cpp.o"
+  "CMakeFiles/droute_geo.dir/geo.cpp.o.d"
+  "CMakeFiles/droute_geo.dir/registry.cpp.o"
+  "CMakeFiles/droute_geo.dir/registry.cpp.o.d"
+  "libdroute_geo.a"
+  "libdroute_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

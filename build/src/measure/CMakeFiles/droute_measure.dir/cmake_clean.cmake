@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_measure.dir/campaign.cpp.o"
+  "CMakeFiles/droute_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/droute_measure.dir/workload.cpp.o"
+  "CMakeFiles/droute_measure.dir/workload.cpp.o.d"
+  "libdroute_measure.a"
+  "libdroute_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cross_traffic.cpp" "src/net/CMakeFiles/droute_net.dir/cross_traffic.cpp.o" "gcc" "src/net/CMakeFiles/droute_net.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/droute_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/droute_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/droute_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/droute_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/tcp_model.cpp" "src/net/CMakeFiles/droute_net.dir/tcp_model.cpp.o" "gcc" "src/net/CMakeFiles/droute_net.dir/tcp_model.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/droute_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/droute_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/topology_io.cpp" "src/net/CMakeFiles/droute_net.dir/topology_io.cpp.o" "gcc" "src/net/CMakeFiles/droute_net.dir/topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/droute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/droute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

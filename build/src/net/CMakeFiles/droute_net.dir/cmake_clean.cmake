@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_net.dir/cross_traffic.cpp.o"
+  "CMakeFiles/droute_net.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/droute_net.dir/fabric.cpp.o"
+  "CMakeFiles/droute_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/droute_net.dir/routing.cpp.o"
+  "CMakeFiles/droute_net.dir/routing.cpp.o.d"
+  "CMakeFiles/droute_net.dir/tcp_model.cpp.o"
+  "CMakeFiles/droute_net.dir/tcp_model.cpp.o.d"
+  "CMakeFiles/droute_net.dir/topology.cpp.o"
+  "CMakeFiles/droute_net.dir/topology.cpp.o.d"
+  "CMakeFiles/droute_net.dir/topology_io.cpp.o"
+  "CMakeFiles/droute_net.dir/topology_io.cpp.o.d"
+  "libdroute_net.a"
+  "libdroute_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

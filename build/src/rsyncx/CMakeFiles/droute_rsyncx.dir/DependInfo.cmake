@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsyncx/checksum.cpp" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/checksum.cpp.o" "gcc" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/checksum.cpp.o.d"
+  "/root/repo/src/rsyncx/delta.cpp" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/delta.cpp.o" "gcc" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/delta.cpp.o.d"
+  "/root/repo/src/rsyncx/md5.cpp" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/md5.cpp.o" "gcc" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/md5.cpp.o.d"
+  "/root/repo/src/rsyncx/patch.cpp" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/patch.cpp.o" "gcc" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/patch.cpp.o.d"
+  "/root/repo/src/rsyncx/session.cpp" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/session.cpp.o" "gcc" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/session.cpp.o.d"
+  "/root/repo/src/rsyncx/signature.cpp" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/signature.cpp.o" "gcc" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/signature.cpp.o.d"
+  "/root/repo/src/rsyncx/wire_format.cpp" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/wire_format.cpp.o" "gcc" "src/rsyncx/CMakeFiles/droute_rsyncx.dir/wire_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_rsyncx.dir/checksum.cpp.o"
+  "CMakeFiles/droute_rsyncx.dir/checksum.cpp.o.d"
+  "CMakeFiles/droute_rsyncx.dir/delta.cpp.o"
+  "CMakeFiles/droute_rsyncx.dir/delta.cpp.o.d"
+  "CMakeFiles/droute_rsyncx.dir/md5.cpp.o"
+  "CMakeFiles/droute_rsyncx.dir/md5.cpp.o.d"
+  "CMakeFiles/droute_rsyncx.dir/patch.cpp.o"
+  "CMakeFiles/droute_rsyncx.dir/patch.cpp.o.d"
+  "CMakeFiles/droute_rsyncx.dir/session.cpp.o"
+  "CMakeFiles/droute_rsyncx.dir/session.cpp.o.d"
+  "CMakeFiles/droute_rsyncx.dir/signature.cpp.o"
+  "CMakeFiles/droute_rsyncx.dir/signature.cpp.o.d"
+  "CMakeFiles/droute_rsyncx.dir/wire_format.cpp.o"
+  "CMakeFiles/droute_rsyncx.dir/wire_format.cpp.o.d"
+  "libdroute_rsyncx.a"
+  "libdroute_rsyncx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_rsyncx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

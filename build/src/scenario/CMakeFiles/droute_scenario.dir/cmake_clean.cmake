@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_scenario.dir/north_america.cpp.o"
+  "CMakeFiles/droute_scenario.dir/north_america.cpp.o.d"
+  "CMakeFiles/droute_scenario.dir/science_dmz.cpp.o"
+  "CMakeFiles/droute_scenario.dir/science_dmz.cpp.o.d"
+  "libdroute_scenario.a"
+  "libdroute_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

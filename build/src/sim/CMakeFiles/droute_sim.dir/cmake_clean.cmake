@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_sim.dir/simulator.cpp.o"
+  "CMakeFiles/droute_sim.dir/simulator.cpp.o.d"
+  "libdroute_sim.a"
+  "libdroute_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

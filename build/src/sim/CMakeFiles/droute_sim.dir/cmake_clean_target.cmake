@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdroute_sim.a"
+)

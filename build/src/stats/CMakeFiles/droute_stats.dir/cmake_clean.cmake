@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/droute_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/droute_stats.dir/histogram.cpp.o"
+  "CMakeFiles/droute_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/droute_stats.dir/overlap.cpp.o"
+  "CMakeFiles/droute_stats.dir/overlap.cpp.o.d"
+  "CMakeFiles/droute_stats.dir/regression.cpp.o"
+  "CMakeFiles/droute_stats.dir/regression.cpp.o.d"
+  "libdroute_stats.a"
+  "libdroute_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/route_monitor.cpp" "src/trace/CMakeFiles/droute_trace.dir/route_monitor.cpp.o" "gcc" "src/trace/CMakeFiles/droute_trace.dir/route_monitor.cpp.o.d"
+  "/root/repo/src/trace/traceroute.cpp" "src/trace/CMakeFiles/droute_trace.dir/traceroute.cpp.o" "gcc" "src/trace/CMakeFiles/droute_trace.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droute_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/droute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/droute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_trace.dir/route_monitor.cpp.o"
+  "CMakeFiles/droute_trace.dir/route_monitor.cpp.o.d"
+  "CMakeFiles/droute_trace.dir/traceroute.cpp.o"
+  "CMakeFiles/droute_trace.dir/traceroute.cpp.o.d"
+  "libdroute_trace.a"
+  "libdroute_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

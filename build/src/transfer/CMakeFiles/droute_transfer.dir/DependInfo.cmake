@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/api_download.cpp" "src/transfer/CMakeFiles/droute_transfer.dir/api_download.cpp.o" "gcc" "src/transfer/CMakeFiles/droute_transfer.dir/api_download.cpp.o.d"
+  "/root/repo/src/transfer/api_upload.cpp" "src/transfer/CMakeFiles/droute_transfer.dir/api_upload.cpp.o" "gcc" "src/transfer/CMakeFiles/droute_transfer.dir/api_upload.cpp.o.d"
+  "/root/repo/src/transfer/detour.cpp" "src/transfer/CMakeFiles/droute_transfer.dir/detour.cpp.o" "gcc" "src/transfer/CMakeFiles/droute_transfer.dir/detour.cpp.o.d"
+  "/root/repo/src/transfer/detour_download.cpp" "src/transfer/CMakeFiles/droute_transfer.dir/detour_download.cpp.o" "gcc" "src/transfer/CMakeFiles/droute_transfer.dir/detour_download.cpp.o.d"
+  "/root/repo/src/transfer/file_spec.cpp" "src/transfer/CMakeFiles/droute_transfer.dir/file_spec.cpp.o" "gcc" "src/transfer/CMakeFiles/droute_transfer.dir/file_spec.cpp.o.d"
+  "/root/repo/src/transfer/parallel.cpp" "src/transfer/CMakeFiles/droute_transfer.dir/parallel.cpp.o" "gcc" "src/transfer/CMakeFiles/droute_transfer.dir/parallel.cpp.o.d"
+  "/root/repo/src/transfer/rsync_engine.cpp" "src/transfer/CMakeFiles/droute_transfer.dir/rsync_engine.cpp.o" "gcc" "src/transfer/CMakeFiles/droute_transfer.dir/rsync_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droute_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/droute_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsyncx/CMakeFiles/droute_rsyncx.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/droute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/droute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

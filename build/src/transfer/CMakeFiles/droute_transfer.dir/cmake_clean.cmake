@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_transfer.dir/api_download.cpp.o"
+  "CMakeFiles/droute_transfer.dir/api_download.cpp.o.d"
+  "CMakeFiles/droute_transfer.dir/api_upload.cpp.o"
+  "CMakeFiles/droute_transfer.dir/api_upload.cpp.o.d"
+  "CMakeFiles/droute_transfer.dir/detour.cpp.o"
+  "CMakeFiles/droute_transfer.dir/detour.cpp.o.d"
+  "CMakeFiles/droute_transfer.dir/detour_download.cpp.o"
+  "CMakeFiles/droute_transfer.dir/detour_download.cpp.o.d"
+  "CMakeFiles/droute_transfer.dir/file_spec.cpp.o"
+  "CMakeFiles/droute_transfer.dir/file_spec.cpp.o.d"
+  "CMakeFiles/droute_transfer.dir/parallel.cpp.o"
+  "CMakeFiles/droute_transfer.dir/parallel.cpp.o.d"
+  "CMakeFiles/droute_transfer.dir/rsync_engine.cpp.o"
+  "CMakeFiles/droute_transfer.dir/rsync_engine.cpp.o.d"
+  "libdroute_transfer.a"
+  "libdroute_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

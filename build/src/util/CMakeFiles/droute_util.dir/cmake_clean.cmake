@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_util.dir/logging.cpp.o"
+  "CMakeFiles/droute_util.dir/logging.cpp.o.d"
+  "CMakeFiles/droute_util.dir/rng.cpp.o"
+  "CMakeFiles/droute_util.dir/rng.cpp.o.d"
+  "CMakeFiles/droute_util.dir/table.cpp.o"
+  "CMakeFiles/droute_util.dir/table.cpp.o.d"
+  "CMakeFiles/droute_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/droute_util.dir/thread_pool.cpp.o.d"
+  "libdroute_util.a"
+  "libdroute_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/client.cpp" "src/wire/CMakeFiles/droute_wire.dir/client.cpp.o" "gcc" "src/wire/CMakeFiles/droute_wire.dir/client.cpp.o.d"
+  "/root/repo/src/wire/rate_limiter.cpp" "src/wire/CMakeFiles/droute_wire.dir/rate_limiter.cpp.o" "gcc" "src/wire/CMakeFiles/droute_wire.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/wire/relay.cpp" "src/wire/CMakeFiles/droute_wire.dir/relay.cpp.o" "gcc" "src/wire/CMakeFiles/droute_wire.dir/relay.cpp.o.d"
+  "/root/repo/src/wire/rsync_pipe.cpp" "src/wire/CMakeFiles/droute_wire.dir/rsync_pipe.cpp.o" "gcc" "src/wire/CMakeFiles/droute_wire.dir/rsync_pipe.cpp.o.d"
+  "/root/repo/src/wire/sink.cpp" "src/wire/CMakeFiles/droute_wire.dir/sink.cpp.o" "gcc" "src/wire/CMakeFiles/droute_wire.dir/sink.cpp.o.d"
+  "/root/repo/src/wire/socket.cpp" "src/wire/CMakeFiles/droute_wire.dir/socket.cpp.o" "gcc" "src/wire/CMakeFiles/droute_wire.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rsyncx/CMakeFiles/droute_rsyncx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

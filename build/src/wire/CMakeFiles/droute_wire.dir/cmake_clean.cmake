@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_wire.dir/client.cpp.o"
+  "CMakeFiles/droute_wire.dir/client.cpp.o.d"
+  "CMakeFiles/droute_wire.dir/rate_limiter.cpp.o"
+  "CMakeFiles/droute_wire.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/droute_wire.dir/relay.cpp.o"
+  "CMakeFiles/droute_wire.dir/relay.cpp.o.d"
+  "CMakeFiles/droute_wire.dir/rsync_pipe.cpp.o"
+  "CMakeFiles/droute_wire.dir/rsync_pipe.cpp.o.d"
+  "CMakeFiles/droute_wire.dir/sink.cpp.o"
+  "CMakeFiles/droute_wire.dir/sink.cpp.o.d"
+  "CMakeFiles/droute_wire.dir/socket.cpp.o"
+  "CMakeFiles/droute_wire.dir/socket.cpp.o.d"
+  "libdroute_wire.a"
+  "libdroute_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdroute_wire.a"
+)

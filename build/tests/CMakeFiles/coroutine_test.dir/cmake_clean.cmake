@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coroutine_test.dir/coroutine_test.cpp.o"
+  "CMakeFiles/coroutine_test.dir/coroutine_test.cpp.o.d"
+  "coroutine_test"
+  "coroutine_test.pdb"
+  "coroutine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coroutine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_monitor_test.dir/route_monitor_test.cpp.o"
+  "CMakeFiles/route_monitor_test.dir/route_monitor_test.cpp.o.d"
+  "route_monitor_test"
+  "route_monitor_test.pdb"
+  "route_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

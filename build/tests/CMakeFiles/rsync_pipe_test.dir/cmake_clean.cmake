@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsync_pipe_test.dir/rsync_pipe_test.cpp.o"
+  "CMakeFiles/rsync_pipe_test.dir/rsync_pipe_test.cpp.o.d"
+  "rsync_pipe_test"
+  "rsync_pipe_test.pdb"
+  "rsync_pipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsync_pipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsyncx_test.dir/rsyncx_test.cpp.o"
+  "CMakeFiles/rsyncx_test.dir/rsyncx_test.cpp.o.d"
+  "rsyncx_test"
+  "rsyncx_test.pdb"
+  "rsyncx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsyncx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

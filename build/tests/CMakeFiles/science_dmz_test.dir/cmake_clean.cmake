@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/science_dmz_test.dir/science_dmz_test.cpp.o"
+  "CMakeFiles/science_dmz_test.dir/science_dmz_test.cpp.o.d"
+  "science_dmz_test"
+  "science_dmz_test.pdb"
+  "science_dmz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/science_dmz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for science_dmz_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_io_test.dir/topology_io_test.cpp.o"
+  "CMakeFiles/topology_io_test.dir/topology_io_test.cpp.o.d"
+  "topology_io_test"
+  "topology_io_test.pdb"
+  "topology_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/rsyncx_test[1]_include.cmake")
+include("/root/repo/build/tests/net_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/net_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/net_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/cloud_test[1]_include.cmake")
+include("/root/repo/build/tests/transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_format_test[1]_include.cmake")
+include("/root/repo/build/tests/download_test[1]_include.cmake")
+include("/root/repo/build/tests/rsync_pipe_test[1]_include.cmake")
+include("/root/repo/build/tests/multihop_test[1]_include.cmake")
+include("/root/repo/build/tests/route_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_property_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_io_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/throttle_test[1]_include.cmake")
+include("/root/repo/build/tests/science_dmz_test[1]_include.cmake")
+include("/root/repo/build/tests/coroutine_test[1]_include.cmake")
