@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("  sent %.2f MB delta, %.2f KB signatures, %.3f s, digest %s\n\n",
-              cold.value().delta_bytes / 1e6,
-              cold.value().signature_bytes / 1e3, cold.value().seconds,
+              static_cast<double>(cold.value().delta_bytes) / 1e6,
+              static_cast<double>(cold.value().signature_bytes) / 1e3,
+              cold.value().seconds,
               cold.value().digest_ok ? "ok" : "MISMATCH");
 
   // Edit 0.1% of the file, as a day's work on a dataset might.
@@ -51,8 +52,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("  sent %.2f MB delta, %.2f KB signatures, %.3f s, digest %s\n\n",
-              warm.value().delta_bytes / 1e6,
-              warm.value().signature_bytes / 1e3, warm.value().seconds,
+              static_cast<double>(warm.value().delta_bytes) / 1e6,
+              static_cast<double>(warm.value().signature_bytes) / 1e3,
+              warm.value().seconds,
               warm.value().digest_ok ? "ok" : "MISMATCH");
 
   std::printf("bytes saved by the cache: %.1f%%\n",

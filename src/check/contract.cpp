@@ -1,0 +1,63 @@
+#include "check/contract.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace droute::check {
+
+namespace {
+std::atomic<FailureHandler> g_handler{nullptr};
+std::atomic<bool> g_debug_checks{true};
+std::once_flag g_debug_env_once;
+
+void init_debug_checks_from_env() {
+  if (const char* env = std::getenv("DROUTE_DEBUG_CHECKS")) {
+    const bool off = std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0;
+    g_debug_checks.store(!off);
+  }
+}
+}  // namespace
+
+std::string Violation::to_string() const {
+  std::string out = "DROUTE_CHECK failed: ";
+  if (!message.empty()) {
+    out += message;
+    out += ' ';
+  }
+  out += '[';
+  out += condition;
+  out += "] at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  return out;
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+FailureHandler failure_handler() { return g_handler.load(); }
+
+bool debug_checks_enabled() {
+  std::call_once(g_debug_env_once, init_debug_checks_from_env);
+  return g_debug_checks.load();
+}
+
+void set_debug_checks(bool enabled) {
+  std::call_once(g_debug_env_once, init_debug_checks_from_env);
+  g_debug_checks.store(enabled);
+}
+
+void fail(const char* file, int line, const char* condition,
+          std::string message) {
+  Violation violation{file, line, condition, std::move(message)};
+  if (FailureHandler handler = g_handler.load()) {
+    handler(violation);
+  }
+  throw CheckError(violation.to_string());
+}
+
+}  // namespace droute::check

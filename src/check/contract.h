@@ -1,0 +1,119 @@
+// Contract macros and failure plumbing for the whole library.
+//
+// DROUTE_CHECK(cond, parts...)   — hard invariant; survives NDEBUG builds.
+//     Guards conservation laws and preconditions whose silent violation
+//     would invalidate every downstream result. All extra arguments are
+//     streamed into the failure message:
+//         DROUTE_CHECK(cap > 0.0, "flow cap must be positive, got ", cap);
+// DROUTE_DCHECK(cond, parts...)  — debug-only check; compiled out when
+//     NDEBUG is set unless DROUTE_ENABLE_DCHECKS=1 is defined. Use for
+//     expensive audits on hot paths.
+//
+// A failed check builds a check::Violation and hands it to the installed
+// failure handler (see set_failure_handler). The handler may record, log or
+// throw; if it returns, a check::CheckError (derived from std::logic_error,
+// which older call sites assert on) is thrown so no check ever falls
+// through. Tests install a scoped handler to assert on violations without
+// grepping exception strings.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace droute::check {
+
+/// Thrown when a contract check fails (unless a custom handler intervenes).
+/// Derives std::logic_error: pre-existing tests that expect logic_error on a
+/// violated precondition keep working.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Everything known about one failed check.
+struct Violation {
+  const char* file = "";
+  int line = 0;
+  const char* condition = "";
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Observes violations before the throw. Must be noexcept-callable or throw
+/// its own exception type; returning normally lets the default CheckError
+/// throw proceed.
+using FailureHandler = void (*)(const Violation&);
+
+/// Installs `handler` (nullptr restores default). Returns the previous one.
+FailureHandler set_failure_handler(FailureHandler handler);
+FailureHandler failure_handler();
+
+/// RAII handler swap for tests.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler)
+      : previous_(set_failure_handler(handler)) {}
+  ~ScopedFailureHandler() { set_failure_handler(previous_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
+
+/// Runtime switch for the optional invariant auditors (sim_audit,
+/// fabric_audit, valley_free wiring inside tests). Defaults to on; the
+/// DROUTE_DEBUG_CHECKS environment variable ("0"/"off" disables, "1"/"on"
+/// enables) provides an out-of-band override for profiling runs.
+bool debug_checks_enabled();
+void set_debug_checks(bool enabled);
+
+/// Reports a violation to the handler, then throws CheckError.
+[[noreturn]] void fail(const char* file, int line, const char* condition,
+                       std::string message);
+
+namespace detail {
+template <typename... Parts>
+std::string format_message(Parts&&... parts) {
+  if constexpr (sizeof...(Parts) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream stream;
+    (stream << ... << parts);
+    return stream.str();
+  }
+}
+}  // namespace detail
+
+}  // namespace droute::check
+
+#define DROUTE_CHECK(cond, ...)                                     \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::droute::check::fail(                                        \
+          __FILE__, __LINE__, #cond,                                \
+          ::droute::check::detail::format_message(__VA_ARGS__));    \
+    }                                                               \
+  } while (false)
+
+#ifndef DROUTE_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define DROUTE_ENABLE_DCHECKS 0
+#else
+#define DROUTE_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if DROUTE_ENABLE_DCHECKS
+#define DROUTE_DCHECK(cond, ...) DROUTE_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+// Keeps operands odr-used (no unused-variable warnings) without evaluating.
+#define DROUTE_DCHECK(cond, ...)                          \
+  do {                                                    \
+    if (false) {                                          \
+      DROUTE_CHECK(cond __VA_OPT__(, ) __VA_ARGS__);      \
+    }                                                     \
+  } while (false)
+#endif

@@ -1,0 +1,98 @@
+#include "check/valley_free.h"
+
+#include <set>
+#include <string>
+
+namespace droute::check {
+
+namespace {
+
+std::string as_name(const net::Topology& topo, net::AsId as) {
+  return topo.as_info(as).name + " (AS " + std::to_string(as) + ")";
+}
+
+}  // namespace
+
+std::vector<net::AsId> as_path_of_route(const net::Topology& topo,
+                                        const net::Route& route) {
+  std::vector<net::AsId> path;
+  for (net::NodeId node : route.nodes) {
+    const net::AsId as = topo.node(node).as_id;
+    if (path.empty() || path.back() != as) path.push_back(as);
+  }
+  return path;
+}
+
+util::Status validate_as_path(const net::Topology& topo,
+                              const std::vector<net::AsId>& path) {
+  if (path.empty()) {
+    return util::Status::failure("empty AS path");
+  }
+
+  std::set<net::AsId> seen;
+  for (net::AsId as : path) {
+    if (!seen.insert(as).second) {
+      return util::Status::failure("AS path revisits " + as_name(topo, as) +
+                                   " (routing loop)");
+    }
+  }
+
+  // Walk the edge sequence with the Gao–Rexford state machine: while
+  // `climbing` any edge class is legal; a flat or down edge ends the climb,
+  // after which only down edges may follow.
+  bool climbing = true;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const net::AsId from = path[i];
+    const net::AsId to = path[i + 1];
+    const auto rel = topo.relation(from, to);
+    if (!rel.has_value()) {
+      return util::Status::failure("AS path crosses undeclared adjacency " +
+                                   as_name(topo, from) + " -> " +
+                                   as_name(topo, to));
+    }
+    switch (*rel) {
+      case net::AsRelation::kProvider:
+        // Up edge: `to` is `from`'s provider. Only legal while climbing.
+        if (!climbing) {
+          return util::Status::failure(
+              "valley: up edge " + as_name(topo, from) + " -> " +
+              as_name(topo, to) + " after the path started descending");
+        }
+        break;
+      case net::AsRelation::kPeer:
+        // Flat edge: ends the climb; a second one would be peer->peer
+        // transit, which no AS exports.
+        if (!climbing) {
+          return util::Status::failure(
+              "valley: peer edge " + as_name(topo, from) + " -> " +
+              as_name(topo, to) + " after the path started descending");
+        }
+        climbing = false;
+        break;
+      case net::AsRelation::kCustomer:
+        // Down edge: from here on the path may only descend.
+        climbing = false;
+        break;
+    }
+  }
+  return util::Status::success();
+}
+
+util::Status validate_route(const net::Topology& topo,
+                            const net::Route& route) {
+  if (!route.valid()) {
+    return util::Status::failure(
+        "malformed route: node/link counts inconsistent");
+  }
+  for (std::size_t i = 0; i < route.links.size(); ++i) {
+    const net::Link& link = topo.link(route.links[i]);
+    if (link.src != route.nodes[i] || link.dst != route.nodes[i + 1]) {
+      return util::Status::failure(
+          "route link " + std::to_string(link.id) +
+          " does not connect its declared endpoints");
+    }
+  }
+  return validate_as_path(topo, as_path_of_route(topo, route));
+}
+
+}  // namespace droute::check

@@ -1,0 +1,47 @@
+// Gao–Rexford valley-free validator.
+//
+// An AS path is valley-free when it decomposes as
+//     zero or more "up" edges (customer -> provider),
+//     at most one "flat" edge (peer -> peer),
+//     zero or more "down" edges (provider -> customer).
+// Anything else implies some AS carried transit it is not paid for — the
+// export rules in net::routing can never select such a path, so a violation
+// reported here is a routing bug (or an intentionally broken fixture).
+//
+// The node-level overload collapses a concrete net::Route to its AS path
+// first (consecutive same-AS nodes fold into one hop). Caveat: routes
+// shaped by an EgressOverride are exempt — the paper's central artifact is
+// precisely an operator exception that pushes traffic onto a second peer
+// edge (campus -> backbone -> PacificWave -> cloud), which Gao–Rexford
+// would never select. Audit only override-free routes with validate_route;
+// BGP-selected AS paths (RouteTable::as_path) must always validate.
+#pragma once
+
+#include <vector>
+
+#include "net/routing.h"
+#include "net/topology.h"
+#include "util/result.h"
+
+namespace droute::check {
+
+/// Collapses a node-level route to its AS-level path (consecutive nodes in
+/// the same AS become a single entry; result is never empty for a valid
+/// route).
+std::vector<net::AsId> as_path_of_route(const net::Topology& topo,
+                                        const net::Route& route);
+
+/// Validates an AS path against the topology's declared relationships.
+/// Fails on: an AS hop with no declared relationship, a repeated AS
+/// (routing loop), a second peer edge, or any up/flat edge after the path
+/// started descending (the "valley").
+[[nodiscard]] util::Status validate_as_path(
+    const net::Topology& topo, const std::vector<net::AsId>& path);
+
+/// Collapses `route` to AS level and validates it. Also rejects malformed
+/// routes (empty, node/link count mismatch, links not connecting their
+/// declared endpoints).
+[[nodiscard]] util::Status validate_route(const net::Topology& topo,
+                                          const net::Route& route);
+
+}  // namespace droute::check

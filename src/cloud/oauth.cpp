@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "check/contract.h"
+
 namespace droute::cloud {
 
 OAuthSession::OAuthSession(std::string client_id, double token_lifetime_s,

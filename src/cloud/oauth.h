@@ -35,6 +35,7 @@ class OAuthSession {
   AccessToken ensure_token(sim::Time now, bool* refreshed = nullptr);
 
   /// Validates a presented bearer token (the server side of the exchange).
+  [[nodiscard]]
   util::Status validate(const AccessToken& token, sim::Time now) const;
 
   std::uint64_t refresh_count() const { return refresh_count_; }

@@ -1,5 +1,7 @@
 #include "cloud/provider.h"
 
+#include "check/contract.h"
+
 namespace droute::cloud {
 
 std::vector<ProviderKind> all_providers() {

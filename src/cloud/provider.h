@@ -51,7 +51,7 @@ ApiProfile default_profile(ProviderKind kind);
 
 /// Splits `file_bytes` into API chunk sizes per `profile` (all chunks
 /// aligned, last chunk carries the remainder). Fails on zero-size files.
-util::Result<std::vector<std::uint64_t>> chunk_sizes(
+[[nodiscard]] util::Result<std::vector<std::uint64_t>> chunk_sizes(
     const ApiProfile& profile, std::uint64_t file_bytes);
 
 /// Total protocol turnarounds (in RTT units) for a file of `file_bytes`.

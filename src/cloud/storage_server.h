@@ -50,19 +50,20 @@ class StorageServer {
 
   /// Opens an upload session for `name` totalling `total_bytes`.
   /// `content_seed` is the object's synthetic content identity.
-  util::Result<SessionId> create_session(const std::string& name,
+  [[nodiscard]] util::Result<SessionId> create_session(const std::string& name,
                                          std::uint64_t total_bytes,
                                          std::uint64_t content_seed = 0);
 
   /// Appends a chunk at `offset`. Chunk content is summarized by its MD5
   /// (the simulator moves byte *counts*; the digest carries integrity).
+  [[nodiscard]]
   util::Status append_chunk(SessionId session, std::uint64_t offset,
                             std::uint64_t length,
                             const rsyncx::Md5Digest& chunk_md5);
 
   /// Commits the session; `declared_md5` is the client's whole-file digest,
   /// checked against the digest accumulated from the chunks.
-  util::Result<StoredObject> finalize(SessionId session,
+  [[nodiscard]] util::Result<StoredObject> finalize(SessionId session,
                                       const rsyncx::Md5Digest& declared_md5);
 
   /// Drops an in-progress session (client abort / failure injection).
@@ -75,11 +76,12 @@ class StorageServer {
   // --- Download API (ranged GET semantics) --------------------------------
 
   /// Metadata request ("files.get"): size + digest + content identity.
-  util::Result<StoredObject> stat(const std::string& name) const;
+  [[nodiscard]] util::Result<StoredObject> stat(const std::string& name) const;
 
   /// Validates and serves a byte range; returns the range's digest (the
   /// body itself moves as a simulated flow). Rejects out-of-bounds and
   /// zero-length ranges like the real APIs' 416 responses.
+  [[nodiscard]]
   util::Result<rsyncx::Md5Digest> read_range(const std::string& name,
                                              std::uint64_t offset,
                                              std::uint64_t length) const;
@@ -96,7 +98,7 @@ class StorageServer {
   };
 
   // Sliding-window throttle; returns failure(429) when over budget.
-  util::Status check_throttle();
+  [[nodiscard]] util::Status check_throttle();
 
   ProviderKind kind_;
   ApiProfile profile_;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "check/contract.h"
 #include "util/result.h"
 
 namespace droute::core {

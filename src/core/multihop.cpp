@@ -4,6 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "check/contract.h"
+
 namespace droute::core {
 
 namespace {

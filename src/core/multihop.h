@@ -33,6 +33,7 @@ struct MultiHopOptions {
 /// Cheapest route from src to dst using at most `max_extra_hops`
 /// intermediates from the matrix. Fails when no measured chain connects
 /// src to dst. The direct route (zero waypoints) competes on equal terms.
+[[nodiscard]]
 util::Result<MultiHopRoute> best_multihop_route(const TimeMatrix& matrix,
                                                 const std::string& src,
                                                 const std::string& dst,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/contract.h"
 #include "stats/regression.h"
 
 namespace droute::core {

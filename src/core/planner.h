@@ -57,6 +57,7 @@ class DetourPlanner {
                      bool is_direct);
 
   /// Probes all candidates and recommends a route for `target_bytes`.
+  [[nodiscard]]
   util::Result<PlannerReport> plan(std::uint64_t target_bytes) const;
 
  private:

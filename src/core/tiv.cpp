@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/contract.h"
+
 namespace droute::core {
 
 void TimeMatrix::set(const std::string& from, const std::string& to,

@@ -26,7 +26,7 @@ struct Location {
 struct Ipv4 {
   std::uint32_t value = 0;
 
-  static util::Result<Ipv4> parse(const std::string& dotted);
+  [[nodiscard]] static util::Result<Ipv4> parse(const std::string& dotted);
   std::string to_string() const;
   bool operator==(const Ipv4&) const = default;
 };
@@ -38,7 +38,7 @@ class Registry {
   void add(Location location);
 
   /// Binds an IP address to a registered name.
-  util::Status bind_ip(const Ipv4& ip, const std::string& name);
+  [[nodiscard]] util::Status bind_ip(const Ipv4& ip, const std::string& name);
 
   std::optional<Location> lookup(const std::string& name) const;
   std::optional<Location> lookup_ip(const Ipv4& ip) const;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "check/contract.h"
 #include "util/logging.h"
 #include "util/rng.h"
 

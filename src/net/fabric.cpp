@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "check/contract.h"
 #include "util/logging.h"
 #include "util/units.h"
 
@@ -83,6 +84,7 @@ util::Result<FlowId> Fabric::start_flow(NodeId src, NodeId dst,
           : 0.0;
   auto [it, inserted] = flows_.emplace(id, std::move(flow));
   DROUTE_CHECK(inserted, "duplicate flow id");
+  submitted_bytes_ += bytes;
   if (ss_delay > 0.0) {
     it->second.activation_event = simulator_->schedule_in(ss_delay, [this, id] {
       advance_to_now();

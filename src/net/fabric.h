@@ -83,10 +83,11 @@ class Fabric {
 
   /// Model RTT between two nodes along current routes (forward + reverse
   /// propagation + base). Errors if either direction is unroutable.
-  util::Result<double> rtt_s(NodeId a, NodeId b) const;
+  [[nodiscard]] util::Result<double> rtt_s(NodeId a, NodeId b) const;
 
   /// Starts a flow of `bytes` from src to dst; `on_complete` fires exactly
   /// once with the final stats (any outcome). Fails if no route exists.
+  [[nodiscard]]
   util::Result<FlowId> start_flow(NodeId src, NodeId dst, std::uint64_t bytes,
                                   CompletionFn on_complete,
                                   FlowOptions options = {});
@@ -109,6 +110,11 @@ class Fabric {
 
   /// Total payload bytes fully delivered since construction.
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+  /// Total payload bytes of every flow ever accepted by start_flow().
+  /// Conservation bound audited by check::audit_flow_conservation:
+  /// moved_bytes() and delivered_bytes() can never exceed it.
+  std::uint64_t submitted_bytes() const { return submitted_bytes_; }
 
   /// Sum over all flows, finished or not, of bytes actually moved so far.
   /// Used by conservation tests: never exceeds the sum of submitted bytes.
@@ -161,6 +167,7 @@ class Fabric {
   sim::Time last_advance_ = 0.0;
   sim::EventId completion_event_;
   std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t submitted_bytes_ = 0;
   double finished_moved_bytes_ = 0.0;
 };
 

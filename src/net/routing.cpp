@@ -5,6 +5,8 @@
 #include <queue>
 #include <set>
 
+#include "check/contract.h"
+
 namespace droute::net {
 
 namespace {

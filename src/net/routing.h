@@ -73,15 +73,17 @@ class RouteTable {
 
   /// Best AS-level path src_as -> dst_as (inclusive), or error if the policy
   /// graph offers no valley-free route.
+  [[nodiscard]]
   util::Result<std::vector<AsId>> as_path(AsId src_as, AsId dst_as) const;
 
   /// How `as` learned its route toward `dst_as` (for route inspection).
+  [[nodiscard]]
   util::Result<RouteOrigin> route_origin(AsId as, AsId dst_as) const;
 
   /// Concrete node/link route from `src` to `dst`. Honors the source node's
   /// policy tag for egress overrides. Cached; call invalidate() after any
   /// set_link_enabled().
-  util::Result<Route> route(NodeId src, NodeId dst) const;
+  [[nodiscard]] util::Result<Route> route(NodeId src, NodeId dst) const;
 
   /// Drops all cached routes and BGP tables (topology changed).
   void invalidate();
@@ -114,6 +116,7 @@ class RouteTable {
   const std::vector<BgpEntry>& bgp_table(AsId dst_as) const;
 
   // Dijkstra by delay within one AS over enabled links.
+  [[nodiscard]]
   util::Result<Route> intra_as_route(NodeId src, NodeId dst) const;
 
   // Cheapest enabled inter-AS link from AS `from` into AS `to`, measured as
@@ -123,6 +126,7 @@ class RouteTable {
     LinkId link = kInvalidLink;
     Route approach;  // cur .. link.src
   };
+  [[nodiscard]]
   util::Result<GatewayChoice> pick_gateway(NodeId cur, AsId to) const;
 
   const Topology* topo_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "check/contract.h"
+
 namespace droute::net {
 
 std::optional<LinkId> Topology::find_link(NodeId src, NodeId dst) const {

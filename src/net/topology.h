@@ -100,15 +100,15 @@ class Topology {
 
   /// Administrative link control for failure injection. Affects new route
   /// computations; Fabric additionally kills flows on disabled links.
-  util::Status set_link_enabled(LinkId id, bool enabled);
+  [[nodiscard]] util::Status set_link_enabled(LinkId id, bool enabled);
 
   /// Adjusts a node's per-flow middlebox ceiling at runtime (ablations:
   /// Science-DMZ firewall on/off). Affects flows started afterwards.
-  util::Status set_middlebox(NodeId id, double per_flow_mbps);
+  [[nodiscard]] util::Status set_middlebox(NodeId id, double per_flow_mbps);
 
   /// Topology-wide sanity checks (ids consistent, links connect declared
   /// nodes, inter-AS links have a declared relationship, etc).
-  util::Status validate() const;
+  [[nodiscard]] util::Status validate() const;
 
   /// Geolocation registry populated with every node (name + IP bound).
   const geo::Registry& registry() const { return registry_; }
@@ -162,7 +162,7 @@ class Topology::Builder {
   LinkId add_duplex_geo(NodeId a, NodeId b, double capacity_mbps,
                         LinkOpts opts = {});
 
-  util::Result<Topology> build() &&;
+  [[nodiscard]] util::Result<Topology> build() &&;
 
  private:
   NodeId add_node(AsId as, const std::string& name, NodeKind kind,

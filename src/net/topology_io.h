@@ -23,7 +23,7 @@
 namespace droute::net {
 
 /// Parses a topology document. Errors carry the offending line number.
-util::Result<Topology> parse_topology(const std::string& text);
+[[nodiscard]] util::Result<Topology> parse_topology(const std::string& text);
 
 /// Serializes a topology to the same format (round-trips through
 /// parse_topology up to floating-point rendering).

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/contract.h"
 #include "util/result.h"
 
 namespace droute::rsyncx {

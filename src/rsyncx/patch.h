@@ -13,11 +13,13 @@ namespace droute::rsyncx {
 /// Applies `delta` to `basis`. Fails (without UB) on any malformed delta:
 /// out-of-range block index, copy run past the basis end, or a reconstructed
 /// size that contradicts the delta header.
+[[nodiscard]]
 util::Result<util::Blob> apply_delta(std::span<const std::uint8_t> basis,
                                      const Delta& delta);
 
 /// End-to-end convenience used in tests: full sender+receiver round trip.
 /// Returns the reconstruction of `target` against `basis`.
+[[nodiscard]]
 util::Result<util::Blob> round_trip(std::span<const std::uint8_t> basis,
                                     std::span<const std::uint8_t> target,
                                     std::uint32_t block_size);

@@ -46,7 +46,7 @@ SessionPlan plan_session(std::span<const std::uint8_t> target,
 
 /// Executes the plan's data path for real (used by tests to prove the plan's
 /// delta actually reconstructs the file): returns the receiver's rebuilt file.
-util::Result<util::Blob> execute_plan(
+[[nodiscard]] util::Result<util::Blob> execute_plan(
     const SessionPlan& plan,
     std::optional<std::span<const std::uint8_t>> basis);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/contract.h"
 #include "rsyncx/checksum.h"
 
 namespace droute::rsyncx {

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <limits>
 
+#include "check/contract.h"
+
 namespace droute::rsyncx {
 
 namespace {

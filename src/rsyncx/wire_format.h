@@ -29,9 +29,11 @@ inline constexpr std::uint32_t kDeltaMagic = 0x44525344;      // 'DRSD'
 inline constexpr std::uint32_t kDeltaVersion = 1;
 
 util::Blob encode_signature(const Signature& signature);
+[[nodiscard]]
 util::Result<Signature> decode_signature(std::span<const std::uint8_t> bytes);
 
 util::Blob encode_delta(const Delta& delta);
+[[nodiscard]]
 util::Result<Delta> decode_delta(std::span<const std::uint8_t> bytes);
 
 }  // namespace droute::rsyncx

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "check/contract.h"
 #include "cloud/oauth.h"
 #include "geo/geo.h"
 #include "transfer/rsync_engine.h"
@@ -99,7 +100,7 @@ World::World(const WorldConfig& config)
 
 std::unique_ptr<World> World::create(const WorldConfig& config) {
   // Not make_unique: the constructor is private.
-  std::unique_ptr<World> world(new World(config));
+  std::unique_ptr<World> world(new World(config));  // lint: allow(raw-new)
   world->build_topology();
   world->wire_services();
   if (config.cross_traffic) world->start_cross_traffic();

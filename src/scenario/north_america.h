@@ -98,7 +98,7 @@ class World {
   /// Runs one complete upload (direct or detoured) of `bytes` from `client`
   /// to `provider`, including cross-traffic warm-up, and returns the elapsed
   /// transfer time in simulated seconds (excluding warm-up).
-  util::Result<double> run_upload(
+  [[nodiscard]] util::Result<double> run_upload(
       Client client, cloud::ProviderKind provider, RouteChoice route,
       std::uint64_t bytes,
       transfer::DetourMode mode = transfer::DetourMode::kStoreAndForward);
@@ -106,19 +106,20 @@ class World {
   /// Runs one complete *download* of an object already stored at the
   /// provider (staged beforehand by stage_object()), direct or detoured.
   /// Returns the download's elapsed simulated seconds.
-  util::Result<double> run_download(Client client,
+  [[nodiscard]] util::Result<double> run_download(Client client,
                                     cloud::ProviderKind provider,
                                     RouteChoice route,
                                     const std::string& name);
 
   /// Stages an object at a provider without touching the measured client's
   /// paths (uploads from the UAlberta cluster); returns the object name.
+  [[nodiscard]]
   util::Result<std::string> stage_object(cloud::ProviderKind provider,
                                          std::uint64_t bytes);
 
   /// Point-to-point file push via rsync only (used for TIV matrices and the
   /// intro's UBC->UAlberta measurement).
-  util::Result<double> run_rsync(const std::string& src_node,
+  [[nodiscard]] util::Result<double> run_rsync(const std::string& src_node,
                                  const std::string& dst_node,
                                  std::uint64_t bytes);
 

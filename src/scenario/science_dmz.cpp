@@ -1,5 +1,6 @@
 #include "scenario/science_dmz.h"
 
+#include "check/contract.h"
 #include "transfer/file_spec.h"
 #include "util/units.h"
 
@@ -10,7 +11,8 @@ ScienceDmzWorld::ScienceDmzWorld(const ScienceDmzConfig& config)
 
 std::unique_ptr<ScienceDmzWorld> ScienceDmzWorld::create(
     const ScienceDmzConfig& config) {
-  std::unique_ptr<ScienceDmzWorld> world(new ScienceDmzWorld(config));
+  std::unique_ptr<ScienceDmzWorld> world(
+      new ScienceDmzWorld(config));  // lint: allow(raw-new) private ctor
   world->build();
   return world;
 }

@@ -63,7 +63,7 @@ class ScienceDmzWorld {
   /// Uploads `bytes` from the lab host to the cloud front end, directly
   /// (through the firewall) or via the DMZ DTN.
   enum class Path { kThroughFirewall, kViaDtn };
-  util::Result<double> run_upload(Path path, std::uint64_t bytes);
+  [[nodiscard]] util::Result<double> run_upload(Path path, std::uint64_t bytes);
 
  private:
   explicit ScienceDmzWorld(const ScienceDmzConfig& config);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/contract.h"
+
 namespace droute::sim {
 
 EventId Simulator::schedule_at(Time at, Handler handler) {
@@ -48,6 +50,7 @@ bool Simulator::step() {
   heap_.pop();
   DROUTE_CHECK(entry.at >= now_, "event queue time went backwards");
   now_ = entry.at;
+  if (step_observer_) step_observer_(now_);
   auto it = handlers_.find(entry.id);
   DROUTE_CHECK(it != handlers_.end(), "live event without handler");
   Handler handler = std::move(it->second);

@@ -10,6 +10,7 @@
 // popped, which keeps scheduling O(log n)).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -18,13 +19,22 @@
 #include <unordered_set>
 #include <vector>
 
-#include "util/result.h"
-
 namespace droute::sim {
 
 using Time = double;  // simulated seconds since simulation start
 
 inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Approved Time comparison helpers. Direct `==`/`!=` on Time is banned by
+/// the repo lint (tools/lint.py): exact float equality on simulated clocks
+/// is almost always a latent bug. Spell the intent instead — an explicit
+/// `eps` of 0 means "bitwise-identical times, on purpose".
+inline bool time_eq(Time a, Time b, Time eps = 0.0) {
+  return std::fabs(a - b) <= eps;
+}
+inline bool time_ne(Time a, Time b, Time eps = 0.0) {
+  return !time_eq(a, b, eps);
+}
 
 /// Identifies a scheduled event so it can be cancelled.
 struct EventId {
@@ -73,6 +83,19 @@ class Simulator {
   /// Total events executed over the simulator's lifetime.
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Cancelled entries still parked in the heap (lazily reclaimed). A large
+  /// backlog after a drain signals a component cancelling timers it never
+  /// lets expire; check::SimAuditor audits this at quiescence.
+  std::size_t cancelled_backlog() const { return cancelled_.size(); }
+
+  /// Observer invoked at the top of every executed event, after the clock
+  /// advances but before the handler runs. One observer at a time (last
+  /// wins; nullptr clears). Used by check::SimAuditor; not a general pub/sub.
+  using StepObserver = std::function<void(Time)>;
+  void set_step_observer(StepObserver observer) {
+    step_observer_ = std::move(observer);
+  }
+
  private:
   struct Entry {
     Time at;
@@ -96,6 +119,7 @@ class Simulator {
   mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
   std::unordered_map<std::uint64_t, Handler> handlers_;
   mutable std::unordered_set<std::uint64_t> cancelled_;
+  StepObserver step_observer_;
 };
 
 }  // namespace droute::sim

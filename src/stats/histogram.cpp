@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "check/contract.h"
 #include "util/result.h"
 
 namespace droute::stats {

@@ -1,5 +1,6 @@
 #include "stats/regression.h"
 
+#include "check/contract.h"
 #include "stats/descriptive.h"
 #include "util/result.h"
 

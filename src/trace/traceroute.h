@@ -54,6 +54,7 @@ class Tracer {
   void set_silent(net::NodeId node) { silent_.insert(node); }
 
   /// TTL-walks the current route from src to dst.
+  [[nodiscard]]
   util::Result<TracerouteResult> trace(net::NodeId src, net::NodeId dst) const;
 
   /// Diffs two traceroutes (typically two sources toward one destination).
@@ -68,7 +69,7 @@ class Tracer {
     std::vector<net::NodeId> forward_only;  // routers only on src->dst
     std::vector<net::NodeId> reverse_only;  // routers only on dst->src
   };
-  util::Result<Asymmetry> round_trip_asymmetry(net::NodeId src,
+  [[nodiscard]] util::Result<Asymmetry> round_trip_asymmetry(net::NodeId src,
                                                net::NodeId dst) const;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "check/contract.h"
 #include "cloud/provider.h"
 
 namespace droute::transfer {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/contract.h"
 #include "util/logging.h"
 
 namespace droute::transfer {
@@ -121,10 +122,10 @@ void ApiUploadEngine::send_next_chunk(std::shared_ptr<Job> job) {
                         : "chunk flow aborted");
           return;
         }
-        const std::uint64_t chunk_bytes = job->chunks[job->next_chunk];
-        const auto digest = job->file.chunk_digest(job->offset, chunk_bytes);
+        const std::uint64_t done_bytes = job->chunks[job->next_chunk];
+        const auto digest = job->file.chunk_digest(job->offset, done_bytes);
         const auto status = server_->append_chunk(job->session, job->offset,
-                                                  chunk_bytes, digest);
+                                                  done_bytes, digest);
         if (!status.ok()) {
           if (status.error().code == 429 &&
               job->attempts_this_chunk < kMaxThrottleRetries) {
@@ -146,7 +147,7 @@ void ApiUploadEngine::send_next_chunk(std::shared_ptr<Job> job) {
         job->attempts_this_chunk = 0;
         job->digester.add_chunk(digest);
         job->result.wire_bytes += stats.bytes;
-        job->offset += chunk_bytes;
+        job->offset += done_bytes;
         ++job->next_chunk;
         ++job->result.chunks;
         // Chunk ack turnaround before the next request is issued.

@@ -76,6 +76,12 @@ struct PipelineJob {
   std::uint64_t leg2_offset = 0;
   cloud::SessionId session = 0;
   cloud::ChunkDigester digester;
+  // The pump closures live on the job so in-flight callbacks can re-enter
+  // them. They capture the job weakly: the job owns the closures without
+  // the closures owning the job back, so the whole graph frees once the
+  // last in-flight callback drops its reference (no shared_ptr cycle).
+  std::function<void()> pump_leg1;
+  std::function<void()> pump_leg2;
 };
 }  // namespace
 
@@ -95,19 +101,22 @@ void DetourEngine::pipelined(net::NodeId client, net::NodeId intermediate,
   job->result->start_time = fabric_->simulator()->now();
   job->result->payload_bytes = file.bytes;
 
-  auto fail = [this, job](const std::string& error) {
-    if (job->failed) return;
-    job->failed = true;
-    if (job->session != 0) api_->server()->abandon(job->session);
-    job->result->error = error;
-    job->result->end_time = fabric_->simulator()->now();
-    job->done(*job->result);
+  // Captures only `this` — never the job — so storing it inside the job's
+  // pump closures cannot create an ownership cycle.
+  auto fail = [this](const std::shared_ptr<PipelineJob>& self,
+                     const std::string& error) {
+    if (self->failed) return;
+    self->failed = true;
+    if (self->session != 0) api_->server()->abandon(self->session);
+    self->result->error = error;
+    self->result->end_time = fabric_->simulator()->now();
+    self->done(*self->result);
   };
 
   auto rtt1 = fabric_->rtt_s(client, intermediate);
   auto rtt2 = fabric_->rtt_s(intermediate, api_->server_node());
   if (!rtt1.ok() || !rtt2.ok()) {
-    fail("pipelined detour: unroutable leg");
+    fail(job, "pipelined detour: unroutable leg");
     return;
   }
   job->rtt1 = rtt1.value();
@@ -115,114 +124,123 @@ void DetourEngine::pipelined(net::NodeId client, net::NodeId intermediate,
 
   auto chunks = cloud::chunk_sizes(api_->server()->profile(), file.bytes);
   if (!chunks.ok()) {
-    fail(chunks.error().message);
+    fail(job, chunks.error().message);
     return;
   }
   job->chunks = std::move(chunks).value();
 
   auto session = api_->server()->create_session(file.name, file.bytes, file.seed);
   if (!session.ok()) {
-    fail(session.error().message);
+    fail(job, session.error().message);
     return;
   }
   job->session = session.value();
 
-  // Leg-2 uploader: drains arrived chunks sequentially.
-  auto pump_leg2 = std::make_shared<std::function<void()>>();
-  // Leg-1 sender: relays chunks to the DTN back-to-back.
-  auto pump_leg1 = std::make_shared<std::function<void()>>();
+  const std::weak_ptr<PipelineJob> weak = job;
 
-  *pump_leg2 = [this, job, fail, pump_leg2]() {
-    if (job->failed || job->leg2_busy) return;
-    if (job->leg2_next == job->chunks.size()) {
+  // Leg-2 uploader: drains arrived chunks sequentially.
+  job->pump_leg2 = [this, fail, weak]() {
+    auto self = weak.lock();
+    if (!self || self->failed || self->leg2_busy) return;
+    if (self->leg2_next == self->chunks.size()) {
       // Everything uploaded: finalize.
-      job->leg2_busy = true;
+      self->leg2_busy = true;
       fabric_->simulator()->schedule_in(
-          api_->server()->profile().finalize_rtts * job->rtt2,
-          [this, job, fail] {
+          api_->server()->profile().finalize_rtts * self->rtt2,
+          [this, self, fail] {
             auto object =
-                api_->server()->finalize(job->session, job->digester.finish());
+                api_->server()->finalize(self->session,
+                                         self->digester.finish());
             if (!object.ok()) {
-              job->session = 0;
-              fail("pipelined finalize: " + object.error().message);
+              self->session = 0;
+              fail(self, "pipelined finalize: " + object.error().message);
               return;
             }
-            job->result->success = true;
-            job->result->end_time = fabric_->simulator()->now();
-            job->done(*job->result);
+            self->result->success = true;
+            self->result->end_time = fabric_->simulator()->now();
+            self->done(*self->result);
           });
       return;
     }
-    if (job->leg2_next >= job->arrived) return;  // wait for leg 1
-    job->leg2_busy = true;
-    const std::uint64_t chunk = job->chunks[job->leg2_next];
+    if (self->leg2_next >= self->arrived) return;  // wait for leg 1
+    self->leg2_busy = true;
+    const std::uint64_t chunk = self->chunks[self->leg2_next];
     net::FlowOptions flow_options;
-    flow_options.charge_slow_start = job->leg2_next == 0;
+    flow_options.charge_slow_start = self->leg2_next == 0;
     flow_options.label = "relay-leg2";
     const std::uint64_t wire =
         chunk + api_->server()->profile().per_chunk_header_bytes;
     auto flow = fabric_->start_flow(
-        job->intermediate, api_->server_node(), wire,
-        [this, job, fail, pump_leg2](const net::FlowStats& stats) {
+        self->intermediate, api_->server_node(), wire,
+        [this, self, fail](const net::FlowStats& stats) {
           if (stats.outcome != net::FlowOutcome::kCompleted) {
-            fail("pipelined leg 2 flow failed");
+            fail(self, "pipelined leg 2 flow failed");
             return;
           }
-          const std::uint64_t chunk = job->chunks[job->leg2_next];
-          const auto digest = job->file.chunk_digest(job->leg2_offset, chunk);
+          const std::uint64_t done_bytes = self->chunks[self->leg2_next];
+          const auto digest =
+              self->file.chunk_digest(self->leg2_offset, done_bytes);
           const auto status = api_->server()->append_chunk(
-              job->session, job->leg2_offset, chunk, digest);
+              self->session, self->leg2_offset, done_bytes, digest);
           if (!status.ok()) {
-            fail("pipelined append: " + status.error().message);
+            fail(self, "pipelined append: " + status.error().message);
             return;
           }
-          job->digester.add_chunk(digest);
-          job->leg2_offset += chunk;
-          ++job->leg2_next;
+          self->digester.add_chunk(digest);
+          self->leg2_offset += done_bytes;
+          ++self->leg2_next;
           fabric_->simulator()->schedule_in(
-              api_->server()->profile().per_chunk_rtts * job->rtt2,
-              [job, pump_leg2] {
-                job->leg2_busy = false;
-                (*pump_leg2)();
+              api_->server()->profile().per_chunk_rtts * self->rtt2,
+              [self] {
+                self->leg2_busy = false;
+                self->pump_leg2();
               });
         },
         flow_options);
-    if (!flow.ok()) fail("pipelined leg 2 rejected: " + flow.error().message);
+    if (!flow.ok()) {
+      fail(self, "pipelined leg 2 rejected: " + flow.error().message);
+    }
   };
 
-  *pump_leg1 = [this, job, fail, pump_leg1, pump_leg2]() {
-    if (job->failed || job->leg1_next == job->chunks.size()) return;
-    const std::uint64_t chunk = job->chunks[job->leg1_next];
+  // Leg-1 sender: relays chunks to the DTN back-to-back.
+  job->pump_leg1 = [this, fail, weak]() {
+    auto self = weak.lock();
+    if (!self || self->failed || self->leg1_next == self->chunks.size()) {
+      return;
+    }
+    const std::uint64_t chunk = self->chunks[self->leg1_next];
     net::FlowOptions flow_options;
-    flow_options.charge_slow_start = job->leg1_next == 0;
+    flow_options.charge_slow_start = self->leg1_next == 0;
     flow_options.label = "relay-leg1";
     auto flow = fabric_->start_flow(
-        job->client, job->intermediate, chunk,
-        [this, job, fail, pump_leg1, pump_leg2](const net::FlowStats& stats) {
+        self->client, self->intermediate, chunk,
+        [this, self, fail](const net::FlowStats& stats) {
           if (stats.outcome != net::FlowOutcome::kCompleted) {
-            fail("pipelined leg 1 flow failed");
+            fail(self, "pipelined leg 1 flow failed");
             return;
           }
-          job->leg1_offset += job->chunks[job->leg1_next];
-          ++job->leg1_next;
-          ++job->arrived;
-          if (job->result->leg1_s == 0.0 &&
-              job->leg1_next == job->chunks.size()) {
-            job->result->leg1_s =
-                fabric_->simulator()->now() - job->result->start_time;
+          self->leg1_offset += self->chunks[self->leg1_next];
+          ++self->leg1_next;
+          ++self->arrived;
+          if (self->result->leg1_s == 0.0 &&
+              self->leg1_next == self->chunks.size()) {
+            self->result->leg1_s =
+                fabric_->simulator()->now() - self->result->start_time;
           }
-          (*pump_leg1)();
-          (*pump_leg2)();
+          self->pump_leg1();
+          self->pump_leg2();
         },
         flow_options);
-    if (!flow.ok()) fail("pipelined leg 1 rejected: " + flow.error().message);
+    if (!flow.ok()) {
+      fail(self, "pipelined leg 1 rejected: " + flow.error().message);
+    }
   };
 
   // Relay daemon handshake on both legs, then start pumping.
   fabric_->simulator()->schedule_in(
       2.0 * job->rtt1 +
           api_->server()->profile().session_init_rtts * job->rtt2,
-      [pump_leg1] { (*pump_leg1)(); });
+      [job] { job->pump_leg1(); });
 }
 
 }  // namespace droute::transfer

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/contract.h"
 #include "util/result.h"
 
 namespace droute::transfer {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/contract.h"
 #include "rsyncx/signature.h"
 
 namespace droute::transfer {

@@ -1,7 +1,8 @@
 // Minimal Result<T> / Status types (std::expected is C++23; we target C++20).
 //
 // Error handling policy for the library:
-//   * programming errors (violated preconditions)      -> assert / DROUTE_CHECK
+//   * programming errors (violated preconditions)      -> DROUTE_CHECK /
+//     DROUTE_DCHECK (see check/contract.h, where the macros live)
 //   * recoverable runtime failures (bad input, refusal) -> Result<T> / Status
 //   * constructor failures                              -> factory functions
 //     returning Result<T>, never throwing constructors.
@@ -9,7 +10,6 @@
 
 #include <cassert>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <utility>
 #include <variant>
@@ -77,7 +77,7 @@ class [[nodiscard]] Status {
     return *error_;
   }
 
-  static Status success() { return Status{}; }
+  [[nodiscard]] static Status success() { return Status{}; }
   static Status failure(std::string msg, int code = 0) {
     return Status{Error{std::move(msg), code}};
   }
@@ -85,15 +85,5 @@ class [[nodiscard]] Status {
  private:
   std::optional<Error> error_;
 };
-
-/// Hard invariant check that survives NDEBUG builds: these guard simulator
-/// conservation laws whose silent violation would invalidate every result.
-#define DROUTE_CHECK(cond, msg)                                         \
-  do {                                                                  \
-    if (!(cond)) {                                                      \
-      throw std::logic_error(std::string("DROUTE_CHECK failed: ") +     \
-                             (msg) + " [" #cond "]");                   \
-    }                                                                   \
-  } while (false)
 
 }  // namespace droute::util

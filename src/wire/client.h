@@ -19,11 +19,12 @@ struct WireTiming {
 
 /// Uploads `data` to the sink at `sink_port` (direct path). The outbound
 /// rate limit emulates a policed first hop (<= 0 unlimited).
-util::Result<WireTiming> upload_direct(std::uint16_t sink_port,
+[[nodiscard]] util::Result<WireTiming> upload_direct(std::uint16_t sink_port,
                                        std::span<const std::uint8_t> data,
                                        double out_rate_bytes_per_s = 0.0);
 
 /// Uploads `data` to `sink_port` via the relay at `relay_port`.
+[[nodiscard]]
 util::Result<WireTiming> upload_via_relay(std::uint16_t relay_port,
                                           std::uint16_t sink_port,
                                           std::span<const std::uint8_t> data,

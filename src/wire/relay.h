@@ -40,7 +40,7 @@ class RelayDaemon {
   RelayDaemon& operator=(const RelayDaemon&) = delete;
 
   /// Binds and spawns the service thread; returns the relay port.
-  util::Result<std::uint16_t> start();
+  [[nodiscard]] util::Result<std::uint16_t> start();
 
   void stop();
 

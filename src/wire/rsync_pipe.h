@@ -34,7 +34,7 @@ class RsyncServer {
   RsyncServer& operator=(const RsyncServer&) = delete;
 
   /// Binds and spawns the service thread; returns the port.
-  util::Result<std::uint16_t> start();
+  [[nodiscard]] util::Result<std::uint16_t> start();
   void stop();
 
   /// Seeds a (possibly stale) basis file, as a persistent DTN cache would.
@@ -66,7 +66,7 @@ struct RsyncPushStats {
 
 /// Pushes `data` as `name` to the RsyncServer at `port`. `out_rate` throttles
 /// the delta upload (<= 0 unlimited).
-util::Result<RsyncPushStats> rsync_push(std::uint16_t port,
+[[nodiscard]] util::Result<RsyncPushStats> rsync_push(std::uint16_t port,
                                         const std::string& name,
                                         std::span<const std::uint8_t> data,
                                         double out_rate_bytes_per_s = 0.0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.h"
 #include "rsyncx/md5.h"
 #include "util/logging.h"
 

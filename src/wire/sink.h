@@ -28,10 +28,11 @@ class Sink {
 
   /// Adds a listener with the given ingress rate (bytes/s; <= 0 unlimited).
   /// Returns the bound port. Call before start().
+  [[nodiscard]]
   util::Result<std::uint16_t> add_ingress(double rate_bytes_per_s);
 
   /// Spawns one service thread per listener.
-  util::Status start();
+  [[nodiscard]] util::Status start();
 
   /// Stops all listeners and joins threads (idempotent).
   void stop();

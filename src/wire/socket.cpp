@@ -115,8 +115,11 @@ util::Result<Stream> Listener::accept() {
 }
 
 void Listener::shutdown() {
+  // Half-close only: resetting fd_ here would race a server thread blocked
+  // in accept() on the same descriptor. ::shutdown unblocks that accept()
+  // (it returns EINVAL); the fd itself is released by the destructor, which
+  // owners run only after joining their accept thread.
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
-  fd_.reset();
 }
 
 util::Result<Stream> connect_local(std::uint16_t port) {

@@ -34,13 +34,13 @@ class Stream {
   explicit Stream(Fd fd) : fd_(std::move(fd)) {}
 
   /// Writes the whole buffer; fails on EPIPE/reset.
-  util::Status send_all(std::span<const std::uint8_t> data);
+  [[nodiscard]] util::Status send_all(std::span<const std::uint8_t> data);
 
   /// Reads exactly `out.size()` bytes; fails on EOF/reset.
-  util::Status recv_all(std::span<std::uint8_t> out);
+  [[nodiscard]] util::Status recv_all(std::span<std::uint8_t> out);
 
   /// 64-bit little-endian framing helpers.
-  util::Status send_u64(std::uint64_t value);
+  [[nodiscard]] util::Status send_u64(std::uint64_t value);
   util::Result<std::uint64_t> recv_u64();
 
   bool valid() const { return fd_.valid(); }
@@ -53,12 +53,14 @@ class Stream {
 /// A listening socket bound to 127.0.0.1. Port 0 picks a free port.
 class Listener {
  public:
-  static util::Result<Listener> bind(std::uint16_t port);
+  [[nodiscard]] static util::Result<Listener> bind(std::uint16_t port);
 
   /// Blocks until a client connects or the listener is shut down.
-  util::Result<Stream> accept();
+  [[nodiscard]] util::Result<Stream> accept();
 
-  /// Unblocks pending/future accept() calls (they return errors).
+  /// Unblocks pending/future accept() calls (they return errors). Safe to
+  /// call from another thread while accept() blocks; the descriptor stays
+  /// open until the Listener is destroyed (after joining the accept thread).
   void shutdown();
 
   std::uint16_t port() const { return port_; }
@@ -70,6 +72,6 @@ class Listener {
 };
 
 /// Connects to 127.0.0.1:`port`.
-util::Result<Stream> connect_local(std::uint16_t port);
+[[nodiscard]] util::Result<Stream> connect_local(std::uint16_t port);
 
 }  // namespace droute::wire

@@ -1,0 +1,128 @@
+// Concurrency stress for util::ThreadPool, util::logging and the
+// check::contract globals. These tests are value-light on purpose: their
+// job is to give TSan (the `tsan` preset) enough real contention to flag
+// any data race in the shared state. They still assert the visible
+// results so they earn their keep in uninstrumented runs too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "check/contract.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace droute::util {
+namespace {
+
+TEST(ThreadPoolStress, ParallelForCountsEveryIndex) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> sum{0};
+  constexpr std::size_t kCount = 10'000;
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersShareOnePool) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures.push_back(pool.submit(
+            [&] { executed.fetch_add(1, std::memory_order_relaxed); }));
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStress, ExceptionPropagatesUnderLoad) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](std::size_t i) {
+                                   if (i == 777) {
+                                     throw std::runtime_error("task 777");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolStress, RepeatedConstructionAndTeardown) {
+  // Races between worker startup, a short burst of work and the draining
+  // destructor are the classic pool lifecycle bugs.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(LoggingStress, ConcurrentWritersAndThresholdFlips) {
+  const LogLevel saved = log_threshold();
+  // Writers log below threshold (dropped: exercises the fast path) while a
+  // flipper toggles the global threshold — the atomic every DROUTE_LOG
+  // statement reads.
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      set_log_threshold(LogLevel::kError);
+      set_log_threshold(LogLevel::kOff);
+    }
+  });
+  ThreadPool pool(6);
+  pool.parallel_for(600, [](std::size_t i) {
+    DROUTE_LOG(kDebug) << "stress line " << i;  // dropped at kWarn+
+  });
+  stop.store(true);
+  flipper.join();
+  set_log_threshold(saved);
+  SUCCEED();  // no crash / no TSan report is the assertion
+}
+
+TEST(ContractStress, TogglesAndHandlerSwapsAreRaceFree) {
+  const bool saved = check::debug_checks_enabled();
+  ThreadPool pool(6);
+  pool.parallel_for(600, [](std::size_t i) {
+    if (i % 3 == 0) {
+      check::set_debug_checks(i % 2 == 0);
+    } else {
+      (void)check::debug_checks_enabled();
+      (void)check::failure_handler();
+    }
+  });
+  check::set_debug_checks(saved);
+  EXPECT_EQ(check::debug_checks_enabled(), saved);
+}
+
+TEST(ContractStress, ConcurrentFailuresEachThrow) {
+  ThreadPool pool(6);
+  std::atomic<int> caught{0};
+  pool.parallel_for(200, [&](std::size_t) {
+    try {
+      DROUTE_CHECK(false, "stress violation");
+    } catch (const check::CheckError&) {
+      caught.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(caught.load(), 200);
+}
+
+}  // namespace
+}  // namespace droute::util

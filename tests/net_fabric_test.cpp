@@ -2,7 +2,11 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
 
+#include "check/contract.h"
+#include "check/fabric_audit.h"
+#include "check/sim_audit.h"
 #include "net/cross_traffic.h"
 #include "net/fabric.h"
 #include "util/units.h"
@@ -16,8 +20,25 @@ struct Dumbbell {
   RouteTable routes{nullptr};
   sim::Simulator simulator;
   std::unique_ptr<Fabric> fabric;
+  // Watches the clock on every event when debug checks are on (the default;
+  // DROUTE_DEBUG_CHECKS=0 disables for profiling runs).
+  std::optional<check::SimAuditor> auditor;
   NodeId a[3], b[3], left, right;
   LinkId shared;
+
+  /// Asserts the fabric conservation laws (capacity + byte ledger).
+  void audit() const {
+    if (!check::debug_checks_enabled()) return;
+    const auto status = check::audit_fabric(*fabric);
+    EXPECT_TRUE(status.ok()) << status.error().message;
+  }
+
+  /// Asserts the simulator drained without leaking events.
+  void audit_drained() const {
+    if (!check::debug_checks_enabled() || !auditor.has_value()) return;
+    const auto status = auditor->audit_quiescent();
+    EXPECT_TRUE(status.ok()) << status.error().message;
+  }
 
   Dumbbell(double shared_mbps = 100.0, double loss = 0.0) {
     Topology::Builder builder;
@@ -37,6 +58,7 @@ struct Dumbbell {
     topo = std::move(built).value();
     routes = RouteTable(&topo);
     fabric = std::make_unique<Fabric>(&simulator, &topo, &routes);
+    if (check::debug_checks_enabled()) auditor.emplace(&simulator);
   }
 };
 
@@ -54,6 +76,8 @@ TEST(Fabric, SingleFlowGetsBottleneckRate) {
   // 100 MB at 100 Mbps = 8 s.
   EXPECT_NEAR(finished.duration_s(), 8.0, 0.05);
   EXPECT_NEAR(finished.achieved_mbps(), 100.0, 1.0);
+  world.audit();
+  world.audit_drained();
 }
 
 TEST(Fabric, TwoFlowsShareFairly) {
@@ -73,6 +97,8 @@ TEST(Fabric, TwoFlowsShareFairly) {
   for (const auto& [id, stats] : done) {
     EXPECT_NEAR(stats.duration_s(), 8.0, 0.1);
   }
+  world.audit();
+  world.audit_drained();
 }
 
 TEST(Fabric, ShortFlowDepartureSpeedsUpSurvivor) {
@@ -137,6 +163,7 @@ TEST(Fabric, MaxMinWaterFillingInvariants) {
   EXPECT_NEAR(world.fabric->current_rate_mbps(f1.value()), 10.0, 0.01);
   EXPECT_NEAR(world.fabric->current_rate_mbps(f2.value()), 40.0, 0.01);
   EXPECT_NEAR(world.fabric->current_rate_mbps(f3.value()), 40.0, 0.01);
+  world.audit();  // live allocation must respect the capacity law
 }
 
 TEST(Fabric, LossyLinkCapsThroughputViaMathis) {
@@ -236,6 +263,8 @@ TEST(Fabric, ByteConservation) {
   EXPECT_EQ(completions, 3);
   EXPECT_EQ(world.fabric->delivered_bytes(), 3 * kBytes);
   EXPECT_NEAR(world.fabric->moved_bytes(), 3.0 * kBytes, 3.0);
+  world.audit();
+  world.audit_drained();
 }
 
 TEST(Fabric, RttAccountsBothDirections) {
@@ -266,6 +295,8 @@ TEST(CrossTraffic, GeneratesAndDrainsFlows) {
   world.simulator.run();  // drain in-flight flows
   EXPECT_GT(source.flows_started(), 20u);
   EXPECT_EQ(source.flows_started(), source.flows_completed());
+  world.audit();
+  world.audit_drained();
 }
 
 TEST(CrossTraffic, DeterministicPerSeed) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "check/contract.h"
+#include "check/valley_free.h"
 #include "net/routing.h"
 #include "net/topology.h"
 
@@ -7,6 +9,14 @@ namespace droute::net {
 namespace {
 
 geo::Coord at(double lat, double lon) { return {lat, lon}; }
+
+/// Audits a BGP-selected AS path against Gao–Rexford. Every path the route
+/// table selects must pass; only EgressOverride-shaped routes are exempt.
+void expect_valley_free(const Topology& topo, const std::vector<AsId>& path) {
+  if (!check::debug_checks_enabled()) return;
+  const auto status = check::validate_as_path(topo, path);
+  EXPECT_TRUE(status.ok()) << status.error().message;
+}
 
 /// A small policy world:
 ///
@@ -70,6 +80,7 @@ TEST(BgpLite, CustomerChainReachesDestination) {
   ASSERT_TRUE(path.ok()) << path.error().message;
   EXPECT_EQ(path.value(),
             (std::vector<AsId>{w.campus1, w.regional, w.backbone, w.cloud}));
+  expect_valley_free(w.topo, path.value());
 }
 
 TEST(BgpLite, ValleyFreePreventsCampusTransit) {
@@ -83,6 +94,7 @@ TEST(BgpLite, ValleyFreePreventsCampusTransit) {
   EXPECT_EQ(path.value(), (std::vector<AsId>{w.campus1, w.regional,
                                              w.backbone, w.transit,
                                              w.campus3}));
+  expect_valley_free(w.topo, path.value());
 }
 
 TEST(BgpLite, PeerRoutesNotExportedToPeers) {
@@ -96,6 +108,7 @@ TEST(BgpLite, PeerRoutesNotExportedToPeers) {
   ASSERT_TRUE(path.ok());
   EXPECT_EQ(path.value(),
             (std::vector<AsId>{w.cloud, w.transit, w.campus3}));
+  expect_valley_free(w.topo, path.value());
 }
 
 TEST(BgpLite, RouteOriginClassification) {
@@ -120,6 +133,10 @@ TEST(NodeRouting, ExpandsToConcreteLinks) {
   EXPECT_EQ(route.value().nodes.back(), w.cloud_fe);
   // h1 -> r-reg -> r-bb -> r-cloud -> cloud-fe
   EXPECT_EQ(route.value().nodes.size(), 5u);
+  if (check::debug_checks_enabled()) {
+    const auto status = check::validate_route(w.topo, route.value());
+    EXPECT_TRUE(status.ok()) << status.error().message;
+  }
 }
 
 TEST(NodeRouting, PathMetricsAccumulate) {
@@ -196,6 +213,18 @@ TEST(NodeRouting, EgressOverrideDivertsTaggedSource) {
   EXPECT_TRUE(contains(tagged_route, r_pw));   // diverted via PWave
   EXPECT_FALSE(contains(plain_route, r_pw));   // default peering
   EXPECT_TRUE(plain_route.nodes.size() < tagged_route.nodes.size());
+
+  if (check::debug_checks_enabled()) {
+    // The default route is valley-free; the override route is, by design,
+    // NOT — it crosses two peer edges (backbone -> pwave -> cloud), which is
+    // exactly the routing artifact the paper studies. The validator must
+    // accept the former and reject the latter.
+    const auto plain_status = check::validate_route(topo, plain_route);
+    EXPECT_TRUE(plain_status.ok()) << plain_status.error().message;
+    const auto tagged_status = check::validate_route(topo, tagged_route);
+    EXPECT_FALSE(tagged_status.ok())
+        << "override route unexpectedly valley-free";
+  }
 }
 
 TEST(NodeRouting, CacheInvalidationChangesRoutes) {

@@ -78,7 +78,8 @@ struct RandomInternet {
     for (const auto& [pair, rel] : world.declared) {
       b.add_duplex(world.routers[static_cast<std::size_t>(pair.first)],
                    world.routers[static_cast<std::size_t>(pair.second)],
-                   1000.0, util::ms(1 + rng.uniform_int(0, 20)));
+                   1000.0,
+                   util::ms(static_cast<double>(1 + rng.uniform_int(0, 20))));
     }
     auto built = std::move(b).build();
     EXPECT_TRUE(built.ok()) << (built.ok() ? "" : built.error().message);

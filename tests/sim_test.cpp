@@ -1,11 +1,31 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
+#include "check/contract.h"
+#include "check/sim_audit.h"
 #include "sim/simulator.h"
 
 namespace droute::sim {
 namespace {
+
+/// Attaches a clock/quiescence auditor when debug checks are on (the
+/// default; DROUTE_DEBUG_CHECKS=0 disables). The auditor's step observer
+/// raises on any clock regression for the rest of the test.
+struct MaybeAuditor {
+  std::optional<check::SimAuditor> auditor;
+
+  explicit MaybeAuditor(Simulator* simulator) {
+    if (check::debug_checks_enabled()) auditor.emplace(simulator);
+  }
+
+  void expect_drained() const {
+    if (!auditor.has_value()) return;
+    const auto status = auditor->audit_quiescent();
+    EXPECT_TRUE(status.ok()) << status.error().message;
+  }
+};
 
 TEST(Simulator, StartsAtZero) {
   Simulator simulator;
@@ -16,6 +36,7 @@ TEST(Simulator, StartsAtZero) {
 
 TEST(Simulator, FiresInTimeOrder) {
   Simulator simulator;
+  MaybeAuditor audit(&simulator);
   std::vector<int> order;
   simulator.schedule_at(3.0, [&] { order.push_back(3); });
   simulator.schedule_at(1.0, [&] { order.push_back(1); });
@@ -23,6 +44,7 @@ TEST(Simulator, FiresInTimeOrder) {
   simulator.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+  audit.expect_drained();
 }
 
 TEST(Simulator, TiesFireInSchedulingOrder) {
@@ -55,11 +77,13 @@ TEST(Simulator, RejectsPastEvents) {
 
 TEST(Simulator, CancelPreventsExecution) {
   Simulator simulator;
+  MaybeAuditor audit(&simulator);
   bool fired = false;
   const EventId id = simulator.schedule_at(1.0, [&] { fired = true; });
   EXPECT_TRUE(simulator.cancel(id));
   simulator.run();
   EXPECT_FALSE(fired);
+  audit.expect_drained();  // the cancelled entry must be reclaimed by run()
 }
 
 TEST(Simulator, CancelTwiceIsNoop) {
@@ -92,6 +116,7 @@ TEST(Simulator, RunUntilAdvancesClock) {
 
 TEST(Simulator, HandlersCanScheduleMore) {
   Simulator simulator;
+  MaybeAuditor audit(&simulator);
   int count = 0;
   std::function<void()> chain = [&] {
     if (++count < 100) simulator.schedule_in(0.5, chain);
@@ -100,6 +125,7 @@ TEST(Simulator, HandlersCanScheduleMore) {
   simulator.run();
   EXPECT_EQ(count, 100);
   EXPECT_NEAR(simulator.now(), 50.0, 1e-9);
+  audit.expect_drained();
 }
 
 TEST(Simulator, EventBudgetGuardsRunaway) {

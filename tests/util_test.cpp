@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "check/contract.h"
 #include "util/blob.h"
 #include "util/logging.h"
 #include "util/result.h"

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""droute house-rules linter (registered as the `lint.house_rules` ctest).
+
+Rules, all scoped to src/:
+
+  pragma-once   every header starts its preprocessor life with #pragma once.
+  raw-new       no raw `new` / `delete` expressions; ownership lives in
+                containers and smart pointers. (`= delete`d special members
+                are fine.)
+  time-eq       no direct `==` / `!=` on sim::Time expressions — exact
+                float equality on a simulated clock is a latent bug. Use
+                sim::time_eq / sim::time_ne (sim/simulator.h, which is
+                exempt as the approved-helper home).
+  nodiscard     every declaration returning util::Result<T> or util::Status
+                in a header carries [[nodiscard]] (same line or the line
+                above). The types are class-level [[nodiscard]] too; the
+                per-function attribute keeps the contract visible at the
+                declaration site and survives type aliasing.
+
+A line can waive one rule with an inline marker, stating the reason:
+    ... // lint: allow(raw-new) — private ctor, owned by unique_ptr
+
+Usage: tools/lint.py [repo-root]
+Exits non-zero iff violations were found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"lint:\s*allow\((?P<rule>[a-z-]+)\)")
+
+# Expressions whose comparison with == / != almost certainly means "compare
+# simulated times exactly", which the fluid model never guarantees.
+TIME_EXPR = r"(?:\bnow\(\)|\bnext_event_time\(\)|\b[A-Za-z_]\w*\.(?:start_time|end_time)\b|\blast_advance_\b|\bkTimeInfinity\b)"
+TIME_EQ_RE = re.compile(
+    rf"{TIME_EXPR}\s*[=!]=|[=!]=\s*{TIME_EXPR}"
+)
+# Approved helper home: defines time_eq/time_ne themselves.
+TIME_EQ_EXEMPT = {Path("src/sim/simulator.h")}
+
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?:static\s+)?(?:util::)?(?:Result<.*>|Status)\s+\w+\s*\(?"
+)
+DECL_EXCLUDE_RE = re.compile(
+    r"\b(?:class|struct|using|typedef|return)\b|=\s*(?:default|delete)\s*;"
+)
+
+NEW_DELETE_RE = re.compile(r"\bnew\b|\bdelete\b")
+
+
+def strip_code(line: str) -> str:
+    """Removes string/char literals and trailing // comments (single line).
+
+    Block comments are handled by the caller via a running state flag.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            i += 1
+            out.append(quote + quote)  # keep token boundaries
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, path: Path, line_no: int, rule: str, message: str) -> None:
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root)
+        text = path.read_text(encoding="utf-8")
+        raw_lines = text.splitlines()
+
+        if path.suffix == ".h":
+            self.check_pragma_once(path, raw_lines)
+
+        # Build comment-stripped lines (tracking /* */ state across lines)
+        # while remembering per-line waivers.
+        stripped: list[str] = []
+        waivers: list[set[str]] = []
+        in_block = False
+        for line in raw_lines:
+            waivers.append({m.group("rule") for m in ALLOW_RE.finditer(line)})
+            if in_block:
+                end = line.find("*/")
+                if end == -1:
+                    stripped.append("")
+                    continue
+                line = line[end + 2:]
+                in_block = False
+            code = strip_code(line)
+            while True:
+                start = code.find("/*")
+                if start == -1:
+                    break
+                end = code.find("*/", start + 2)
+                if end == -1:
+                    code = code[:start]
+                    in_block = True
+                    break
+                code = code[:start] + " " + code[end + 2:]
+            stripped.append(code)
+
+        for idx, code in enumerate(stripped):
+            line_no = idx + 1
+            self.check_raw_new(path, line_no, code, waivers[idx])
+            if rel not in TIME_EQ_EXEMPT:
+                self.check_time_eq(path, line_no, code, waivers[idx])
+        if path.suffix == ".h":
+            self.check_nodiscard(path, stripped, waivers)
+
+    def check_pragma_once(self, path: Path, lines: list[str]) -> None:
+        for line in lines:
+            text = line.strip()
+            if text == "#pragma once":
+                return
+            if text.startswith("#") and not text.startswith("#pragma"):
+                break  # some other directive came first
+        self.report(path, 1, "pragma-once", "header is missing #pragma once")
+
+    def check_raw_new(
+        self, path: Path, line_no: int, code: str, allowed: set[str]
+    ) -> None:
+        if "raw-new" in allowed:
+            return
+        # `= delete`d special members are declarations, not deallocations.
+        code = re.sub(r"=\s*delete\b", "", code)
+        if NEW_DELETE_RE.search(code):
+            self.report(
+                path, line_no, "raw-new",
+                "raw new/delete — use containers or smart pointers "
+                "(waive with `lint: allow(raw-new)` and a reason)",
+            )
+
+    def check_time_eq(
+        self, path: Path, line_no: int, code: str, allowed: set[str]
+    ) -> None:
+        if "time-eq" in allowed:
+            return
+        if TIME_EQ_RE.search(code):
+            self.report(
+                path, line_no, "time-eq",
+                "direct ==/!= on a sim::Time expression — use sim::time_eq "
+                "or sim::time_ne with an explicit epsilon",
+            )
+
+    def check_nodiscard(
+        self, path: Path, lines: list[str], waivers: list[set[str]]
+    ) -> None:
+        for idx, code in enumerate(lines):
+            if "nodiscard" in waivers[idx]:
+                continue
+            if not NODISCARD_DECL_RE.match(code):
+                continue
+            if "(" not in code or DECL_EXCLUDE_RE.search(code):
+                continue
+            here = "[[nodiscard]]" in code
+            above = idx > 0 and "[[nodiscard]]" in lines[idx - 1]
+            if not (here or above):
+                self.report(
+                    path, idx + 1, "nodiscard",
+                    "Result/Status-returning declaration lacks [[nodiscard]]",
+                )
+
+    def run(self) -> int:
+        src = self.root / "src"
+        for path in sorted(src.rglob("*")):
+            if path.suffix in (".h", ".cpp"):
+                self.lint_file(path)
+        if self.violations:
+            print(f"lint: {len(self.violations)} violation(s)")
+            for v in self.violations:
+                print(" ", v)
+            return 1
+        print("lint: clean")
+        return 0
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    root = root.resolve()
+    if not (root / "src").is_dir():
+        print(f"lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
