@@ -2,12 +2,93 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace droute::bench {
+
+namespace {
+
+// Observability session shared by every bench that links this harness: when
+// --trace-out/--metrics-out (or DROUTE_TRACE_OUT/DROUTE_METRICS_OUT) name an
+// output path, a Recorder is installed for the binary's whole lifetime and
+// the exports are written at exit. Bench mains ignore argv, so the flags are
+// read from /proc/self/cmdline; the env vars work on every platform.
+class TraceSession {
+ public:
+  TraceSession()
+      : trace_path_(option_value("DROUTE_TRACE_OUT", "--trace-out")),
+        metrics_path_(option_value("DROUTE_METRICS_OUT", "--metrics-out")) {
+    if (trace_path_.empty() && metrics_path_.empty()) return;
+    recorder_ = std::make_unique<obs::Recorder>();
+    obs::set_recorder(recorder_.get());
+  }
+
+  ~TraceSession() {
+    if (recorder_ == nullptr) return;
+    obs::set_recorder(nullptr);
+    if (!trace_path_.empty()) {
+      report("trace", trace_path_,
+             obs::write_file(trace_path_, obs::chrome_trace_json(*recorder_)));
+    }
+    if (!metrics_path_.empty()) {
+      report("metrics", metrics_path_,
+             obs::write_file(metrics_path_,
+                             obs::metrics_csv(recorder_->metrics())));
+    }
+  }
+
+ private:
+  static void report(const char* what, const std::string& path,
+                     const util::Status& status) {
+    if (status.ok()) {
+      std::fprintf(stderr, "[obs] wrote %s to %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] FAILED writing %s to %s: %s\n", what,
+                   path.c_str(), status.error().message.c_str());
+    }
+  }
+
+  // Env var wins; otherwise scan the command line for `--flag path` or
+  // `--flag=path`.
+  static std::string option_value(const char* env, const std::string& flag) {
+    if (const char* value = std::getenv(env); value != nullptr && *value) {
+      return value;
+    }
+#ifdef __linux__
+    std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+    std::string raw((std::istreambuf_iterator<char>(cmdline)),
+                    std::istreambuf_iterator<char>());
+    std::vector<std::string> argv;
+    for (std::size_t pos = 0; pos < raw.size();) {
+      const std::size_t end = raw.find('\0', pos);
+      argv.push_back(raw.substr(pos, end - pos));
+      if (end == std::string::npos) break;
+      pos = end + 1;
+    }
+    for (std::size_t i = 0; i < argv.size(); ++i) {
+      if (argv[i] == flag && i + 1 < argv.size()) return argv[i + 1];
+      const std::string prefix = flag + "=";
+      if (argv[i].rfind(prefix, 0) == 0) return argv[i].substr(prefix.size());
+    }
+#endif
+    return {};
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::Recorder> recorder_;
+};
+
+TraceSession g_trace_session;
+
+}  // namespace
 
 std::uint64_t bench_seed() {
   if (const char* env = std::getenv("DROUTE_BENCH_SEED")) {
@@ -35,6 +116,18 @@ std::vector<RouteSeries> measure_figure(
   }
   util::ThreadPool pool;
   const auto grid = campaign.run_grid(sizes, bench_protocol(), &pool);
+
+  // Pool execution stats as gauges (satisfies "how parallel was the
+  // campaign?" without attaching a profiler).
+  if (obs::enabled()) {
+    const util::ThreadPool::Stats stats = pool.stats();
+    obs::set(obs::gauge("measure.pool_threads"),
+             static_cast<double>(pool.thread_count()));
+    obs::set(obs::gauge("measure.pool_tasks_executed"),
+             static_cast<double>(stats.executed));
+    obs::set(obs::gauge("measure.pool_queue_peak"),
+             static_cast<double>(stats.peak_queued));
+  }
 
   std::vector<RouteSeries> out;
   for (const auto route : scenario::all_routes()) {

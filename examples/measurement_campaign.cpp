@@ -3,10 +3,16 @@
 // entry point.
 //
 //   $ ./measurement_campaign [runs] > campaign.csv
+//
+// Set DROUTE_METRICS_OUT=<path> to also dump the campaign's internal metrics
+// (sim events, throttle retries, flow durations, ...) as obs CSV.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "measure/campaign.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "scenario/north_america.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
@@ -17,6 +23,13 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     protocol.total_runs = std::atoi(argv[1]);
     protocol.keep_last = std::min(protocol.keep_last, protocol.total_runs);
+  }
+
+  std::unique_ptr<obs::Recorder> recorder;
+  const char* metrics_out = std::getenv("DROUTE_METRICS_OUT");
+  if (metrics_out != nullptr && *metrics_out) {
+    recorder = std::make_unique<obs::Recorder>();
+    obs::set_recorder(recorder.get());
   }
 
   measure::Campaign campaign(2016);
@@ -47,6 +60,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(key.second / util::kMB),
                 measurement.kept.mean, measurement.kept.stddev,
                 measurement.runs.size(), measurement.failures);
+  }
+
+  if (recorder != nullptr) {
+    obs::set_recorder(nullptr);
+    const auto status = obs::write_file(
+        metrics_out, obs::metrics_csv(recorder->metrics()));
+    if (status.ok()) {
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out);
+    } else {
+      std::fprintf(stderr, "FAILED writing metrics: %s\n",
+                   status.error().message.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "check/contract.h"
+#include "obs/recorder.h"
 
 namespace droute::cloud {
 
@@ -12,6 +13,7 @@ OAuthSession::OAuthSession(std::string client_id, double token_lifetime_s,
       token_lifetime_s_(token_lifetime_s),
       rng_(seed) {
   DROUTE_CHECK(token_lifetime_s_ > 0, "token lifetime must be positive");
+  obs_token_refreshes_ = obs::counter("cloud.token_refreshes_total");
 }
 
 std::string OAuthSession::mint(sim::Time now) {
@@ -30,6 +32,7 @@ AccessToken OAuthSession::ensure_token(sim::Time now, bool* refreshed) {
     current_.lifetime_s = token_lifetime_s_;
     have_token_ = true;
     ++refresh_count_;
+    obs::add(obs_token_refreshes_);
   }
   if (refreshed) *refreshed = need_refresh;
   return current_;

@@ -11,6 +11,10 @@
 #include "util/result.h"
 #include "util/rng.h"
 
+namespace droute::obs {
+class Counter;
+}  // namespace droute::obs
+
 namespace droute::cloud {
 
 struct AccessToken {
@@ -49,6 +53,8 @@ class OAuthSession {
   AccessToken current_;
   bool have_token_ = false;
   std::uint64_t refresh_count_ = 0;
+  // obs handle (null when recording is disabled at construction).
+  obs::Counter* obs_token_refreshes_ = nullptr;
 };
 
 }  // namespace droute::cloud

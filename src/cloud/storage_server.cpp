@@ -1,8 +1,16 @@
 #include "cloud/storage_server.h"
 
 #include "cloud/content.h"
+#include "obs/recorder.h"
 
 namespace droute::cloud {
+
+StorageServer::StorageServer(ProviderKind kind, ApiProfile profile)
+    : kind_(kind), profile_(profile) {
+  obs_sessions_opened_ = obs::counter("cloud.sessions_opened_total");
+  obs_sessions_finalized_ = obs::counter("cloud.sessions_finalized_total");
+  obs_requests_throttled_ = obs::counter("cloud.requests_throttled_total");
+}
 
 util::Status StorageServer::check_throttle() {
   if (!now_fn_ || profile_.max_requests_per_window <= 0) {
@@ -16,6 +24,7 @@ util::Status StorageServer::check_throttle() {
   if (static_cast<int>(request_times_.size()) >=
       profile_.max_requests_per_window) {
     ++throttled_;
+    obs::add(obs_requests_throttled_);
     return util::Status::failure("rate limited (Retry-After)", 429);
   }
   request_times_.push_back(now);
@@ -36,6 +45,7 @@ util::Result<SessionId> StorageServer::create_session(
   session.total_bytes = total_bytes;
   session.content_seed = content_seed;
   sessions_.emplace(id, std::move(session));
+  obs::add(obs_sessions_opened_);
   return id;
 }
 
@@ -92,6 +102,7 @@ util::Result<StoredObject> StorageServer::finalize(
   object.content_seed = s.content_seed;
   objects_[object.name] = object;
   sessions_.erase(it);
+  obs::add(obs_sessions_finalized_);
   return object;
 }
 

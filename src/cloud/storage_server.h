@@ -18,6 +18,10 @@
 #include "rsyncx/md5.h"
 #include "util/result.h"
 
+namespace droute::obs {
+class Counter;
+}  // namespace droute::obs
+
 namespace droute::cloud {
 
 struct StoredObject {
@@ -33,8 +37,7 @@ using SessionId = std::uint64_t;
 
 class StorageServer {
  public:
-  StorageServer(ProviderKind kind, ApiProfile profile)
-      : kind_(kind), profile_(profile) {}
+  StorageServer(ProviderKind kind, ApiProfile profile);
 
   /// Attaches a clock for request-throttle bookkeeping. Without a clock the
   /// throttle is inactive regardless of the profile (unlimited).
@@ -108,6 +111,10 @@ class StorageServer {
   SessionId next_session_ = 1;
   std::map<SessionId, Session> sessions_;
   std::map<std::string, StoredObject> objects_;
+  // obs handles (null when recording is disabled at construction).
+  obs::Counter* obs_sessions_opened_ = nullptr;
+  obs::Counter* obs_sessions_finalized_ = nullptr;
+  obs::Counter* obs_requests_throttled_ = nullptr;
 };
 
 /// Client-side helper computing the same digest-of-digests the server

@@ -1,11 +1,44 @@
 #include "core/monitor.h"
 
+#include <utility>
 #include <vector>
 
 #include "check/contract.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace droute::core {
+
+DynamicMonitor::DynamicMonitor(Options options, const obs::Registry* registry,
+                               std::string metric_prefix)
+    : options_(options),
+      registry_(registry),
+      metric_prefix_(std::move(metric_prefix)) {
+  DROUTE_CHECK(registry_ != nullptr, "DynamicMonitor: null registry");
+  DROUTE_CHECK(!metric_prefix_.empty(), "DynamicMonitor: empty prefix");
+}
+
+int DynamicMonitor::poll() {
+  if (registry_ == nullptr) return 0;
+  int fed = 0;
+  for (const obs::Histogram* hist :
+       registry_->histograms_with_prefix(metric_prefix_)) {
+    // Route name is the suffix after "<prefix>.".
+    const std::string route = hist->name().substr(metric_prefix_.size() + 1);
+    const obs::HistogramSnapshot snap = hist->snapshot();
+    Consumed& seen = consumed_[route];
+    if (snap.count <= seen.count) continue;
+    // Mean of only the samples accumulated since the last poll: exactly one
+    // observation per window, so EWMA weighting matches hand-fed probes.
+    const double delta_mean = (snap.sum - seen.sum) /
+                              static_cast<double>(snap.count - seen.count);
+    seen.count = snap.count;
+    seen.sum = snap.sum;
+    observe(route, delta_mean);
+    ++fed;
+  }
+  return fed;
+}
 
 void DynamicMonitor::observe(const std::string& route, double mbps) {
   DROUTE_CHECK(mbps >= 0.0, "negative throughput observation");

@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+namespace droute::obs {
+class Registry;
+}  // namespace droute::obs
+
 namespace droute::core {
 
 class DynamicMonitor {
@@ -27,6 +31,18 @@ class DynamicMonitor {
 
   DynamicMonitor() : options_(Options{}) {}
   explicit DynamicMonitor(Options options) : options_(options) {}
+
+  /// Binds the monitor to an obs metrics registry instead of hand-fed
+  /// probes: poll() scans every histogram named `<metric_prefix>.<route>`
+  /// (e.g. prefix "probe.route_mbps" matches "probe.route_mbps.direct") and
+  /// feeds each histogram's newly accumulated mean as one observation for
+  /// that route. The registry must outlive the monitor.
+  DynamicMonitor(Options options, const obs::Registry* registry,
+                 std::string metric_prefix);
+
+  /// Drains new samples from the bound registry (see the registry ctor);
+  /// returns the number of observations fed. No-op without a registry.
+  int poll();
 
   /// Feeds one probe observation (throughput in Mbps) for a route.
   void observe(const std::string& route, double mbps);
@@ -52,8 +68,18 @@ class DynamicMonitor {
     bool degraded = false;
   };
 
+  // Per-route histogram position consumed by poll() so each sample window
+  // is observed exactly once.
+  struct Consumed {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
   Options options_;
   std::map<std::string, State> routes_;
+  const obs::Registry* registry_ = nullptr;
+  std::string metric_prefix_;
+  std::map<std::string, Consumed> consumed_;
 };
 
 }  // namespace droute::core

@@ -3,6 +3,8 @@
 #include <atomic>
 
 #include "check/contract.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -33,15 +35,40 @@ Measurement Campaign::measure(const std::string& key, std::uint64_t bytes,
                               const Protocol& protocol) const {
   const auto it = routes_.find(key);
   DROUTE_CHECK(it != routes_.end(), "unknown route key: " + key);
+
+  // Resolve obs handles per cell, not per object: Campaign may outlive a
+  // test-scoped Recorder, so nothing is cached across calls. Each cell gets
+  // its own trace track; runs map to lanes, so a grid renders as one row per
+  // (route, size) with seven run spans laid out along it.
+  obs::Counter* runs_total = obs::counter("measure.runs_total");
+  obs::Counter* run_failures = obs::counter("measure.run_failures_total");
+  obs::Histogram* run_elapsed =
+      obs::histogram("measure.run_elapsed_s", obs::duration_bounds_s());
+  std::uint32_t track = 0;
+  if (obs::Recorder* rec = obs::recorder()) {
+    track = rec->new_track(key + " @" + std::to_string(bytes) + "B");
+  }
+
   Measurement m;
   m.runs.reserve(static_cast<std::size_t>(protocol.total_runs));
   for (int run = 0; run < protocol.total_runs; ++run) {
     const std::uint64_t seed = derive_seed(base_seed_, key, bytes, run);
+    obs::ScopedTrack scoped(track, static_cast<std::uint32_t>(run));
     auto elapsed = it->second(bytes, seed);
+    obs::add(runs_total);
     if (elapsed.ok()) {
       m.runs.push_back(elapsed.value());
+      obs::observe(run_elapsed, elapsed.value());
+      if (obs::enabled()) {
+        // Each run builds a fresh world, so its sim clock starts at zero.
+        obs::emit_span("measure.run", obs::Clock::kSim, 0.0, elapsed.value(),
+                       {{"route", key},
+                        {"bytes", std::to_string(bytes)},
+                        {"run", std::to_string(run)}});
+      }
     } else {
       ++m.failures;
+      obs::add(run_failures);
       DROUTE_LOG(kWarn) << "run failed for " << key << " @" << bytes << "B: "
                         << elapsed.error().message;
     }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "check/contract.h"
+#include "obs/recorder.h"
 #include "util/logging.h"
 #include "util/units.h"
 
@@ -28,6 +29,15 @@ bool drained(double remaining_bytes, double rate_bps) {
 Fabric::Fabric(sim::Simulator* simulator, Topology* topo, RouteTable* routes)
     : simulator_(simulator), topo_(topo), routes_(routes) {
   DROUTE_CHECK(simulator_ && topo_ && routes_, "Fabric: null dependency");
+  obs_flows_started_ = obs::counter("net.flows_started_total");
+  obs_flows_completed_ = obs::counter("net.flows_completed_total");
+  obs_flows_failed_ = obs::counter("net.flows_failed_total");
+  obs_flows_policer_capped_ = obs::counter("net.flows_policer_capped_total");
+  obs_realloc_rounds_ = obs::counter("net.realloc_rounds_total");
+  obs_flow_duration_ =
+      obs::histogram("net.flow_duration_s", obs::duration_bounds_s());
+  obs_link_utilization_ =
+      obs::histogram("net.link_utilization_ratio", obs::ratio_bounds());
 }
 
 util::Result<double> Fabric::rtt_s(NodeId a, NodeId b) const {
@@ -63,6 +73,12 @@ util::Result<FlowId> Fabric::start_flow(NodeId src, NodeId dst,
   cap_mbps = std::min(cap_mbps,
                       routes_->bottleneck_capacity_mbps(route.value()));
   DROUTE_CHECK(cap_mbps > 0.0, "flow cap must be positive");
+  obs::add(obs_flows_started_);
+  if (policer > 0.0 && cap_mbps >= policer - 1e-9) {
+    // The route's policer is the binding ceiling — the "dropped to the
+    // policed rate" signal operators look for first.
+    obs::add(obs_flows_policer_capped_);
+  }
 
   const FlowId id = next_flow_id_++;
   Flow flow;
@@ -215,7 +231,9 @@ void Fabric::reallocate_and_reschedule() {
     }
   }
 
+  std::uint64_t rounds = 0;
   while (!unfrozen.empty()) {
+    ++rounds;
     double delta = std::numeric_limits<double>::infinity();
     for (const Flow* flow : unfrozen) {
       delta = std::min(delta, flow->cap_bps - flow->rate_bps);
@@ -256,6 +274,16 @@ void Fabric::reallocate_and_reschedule() {
     DROUTE_CHECK(still.size() < unfrozen.size() || delta > 0.0,
                  "allocation failed to make progress");
     unfrozen = std::move(still);
+  }
+  obs::add(obs_realloc_rounds_, rounds);
+  if (obs_link_utilization_ != nullptr) {
+    for (const auto& [lid, state] : links) {
+      const double capacity_bps =
+          util::mbps_to_bytes_per_sec(topo_->link(lid).capacity_mbps);
+      if (capacity_bps <= 0.0) continue;
+      obs_link_utilization_->observe(
+          std::max(0.0, 1.0 - state.remaining_bps / capacity_bps));
+    }
   }
 
   // --- Schedule the next completion. ---
@@ -301,6 +329,12 @@ void Fabric::on_completion_event() {
 void Fabric::finish(Flow flow, FlowOutcome outcome) {
   flow.stats.end_time = simulator_->now();
   flow.stats.outcome = outcome;
+  if (outcome == FlowOutcome::kCompleted) {
+    obs::add(obs_flows_completed_);
+    obs::observe(obs_flow_duration_, flow.stats.duration_s());
+  } else {
+    obs::add(obs_flows_failed_);
+  }
   finished_moved_bytes_ +=
       static_cast<double>(flow.stats.bytes) - flow.remaining_bytes;
   if (outcome == FlowOutcome::kCompleted) {

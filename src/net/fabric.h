@@ -27,6 +27,11 @@
 #include "sim/simulator.h"
 #include "util/result.h"
 
+namespace droute::obs {
+class Counter;
+class Histogram;
+}  // namespace droute::obs
+
 namespace droute::net {
 
 using FlowId = std::uint64_t;
@@ -169,6 +174,15 @@ class Fabric {
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t submitted_bytes_ = 0;
   double finished_moved_bytes_ = 0.0;
+
+  // obs handles (null when recording is disabled at construction).
+  obs::Counter* obs_flows_started_ = nullptr;
+  obs::Counter* obs_flows_completed_ = nullptr;
+  obs::Counter* obs_flows_failed_ = nullptr;
+  obs::Counter* obs_flows_policer_capped_ = nullptr;
+  obs::Counter* obs_realloc_rounds_ = nullptr;
+  obs::Histogram* obs_flow_duration_ = nullptr;
+  obs::Histogram* obs_link_utilization_ = nullptr;
 };
 
 }  // namespace droute::net

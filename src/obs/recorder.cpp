@@ -1,0 +1,126 @@
+#include "obs/recorder.h"
+
+#include <atomic>
+
+namespace droute::obs {
+
+namespace {
+std::atomic<Recorder*> g_recorder{nullptr};
+thread_local TrackContext g_track_context{};
+}  // namespace
+
+Recorder::Recorder(std::size_t span_capacity)
+    : capacity_(span_capacity), epoch_(std::chrono::steady_clock::now()) {
+  track_names_.emplace_back("main");
+}
+
+void Recorder::record_span(Span span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Recorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Recorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::uint64_t Recorder::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint32_t Recorder::new_track(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  track_names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(track_names_.size() - 1);
+}
+
+std::vector<std::string> Recorder::track_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return track_names_;
+}
+
+double Recorder::wall_now_s() const {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - epoch_;
+  return elapsed.count();
+}
+
+Recorder* set_recorder(Recorder* recorder) {
+  return g_recorder.exchange(recorder, std::memory_order_acq_rel);
+}
+
+Recorder* recorder() { return g_recorder.load(std::memory_order_acquire); }
+
+Counter* counter(std::string_view name) {
+  Recorder* r = recorder();
+  return r != nullptr ? r->metrics().counter(name) : nullptr;
+}
+
+Gauge* gauge(std::string_view name) {
+  Recorder* r = recorder();
+  return r != nullptr ? r->metrics().gauge(name) : nullptr;
+}
+
+Histogram* histogram(std::string_view name,
+                     const std::vector<double>& bounds) {
+  Recorder* r = recorder();
+  return r != nullptr ? r->metrics().histogram(name, bounds) : nullptr;
+}
+
+void count(std::string_view name, std::uint64_t delta) {
+  Recorder* r = recorder();
+  if (r != nullptr) r->metrics().counter(name)->add(delta);
+}
+
+TrackContext track_context() { return g_track_context; }
+
+void set_track_context(TrackContext context) { g_track_context = context; }
+
+void emit_span(std::string_view name, Clock clock, double start_s,
+               double end_s,
+               std::vector<std::pair<std::string, std::string>> args) {
+  Recorder* r = recorder();
+  if (r == nullptr) return;
+  const TrackContext context = g_track_context;
+  Span span;
+  span.name = std::string(name);
+  span.clock = clock;
+  span.track = context.track;
+  span.lane = context.lane;
+  span.start_s = start_s;
+  span.end_s = end_s;
+  span.args = std::move(args);
+  r->record_span(std::move(span));
+}
+
+ScopedWallSpan::ScopedWallSpan(std::string_view name)
+    : recorder_(recorder()) {
+  if (recorder_ == nullptr) return;
+  name_ = std::string(name);
+  start_s_ = recorder_->wall_now_s();
+}
+
+ScopedWallSpan::~ScopedWallSpan() {
+  if (recorder_ == nullptr) return;
+  const TrackContext context = g_track_context;
+  Span span;
+  span.name = std::move(name_);
+  span.clock = Clock::kWall;
+  span.track = context.track;
+  span.lane = context.lane;
+  span.start_s = start_s_;
+  span.end_s = recorder_->wall_now_s();
+  recorder_->record_span(std::move(span));
+}
+
+}  // namespace droute::obs

@@ -1,0 +1,173 @@
+// Recording front door for droute::obs.
+//
+// A Recorder bundles a metrics Registry with a span buffer. The process has
+// at most one *installed* recorder (set_recorder / ScopedRecorder); when none
+// is installed every obs operation degrades to a branch-plus-nothing, the
+// same pattern as check::debug_checks_enabled(). An installed recorder must
+// outlive every object that cached an instrument handle while it was
+// installed — in practice: install at process/test start, uninstall at exit.
+//
+// Spans carry one of two clock domains:
+//   Clock::kSim  — sim::Time seconds (each simulated world starts at 0);
+//   Clock::kWall — seconds since the Recorder's construction (steady clock),
+//                  used by the wire/ layer and other real-time code.
+// Spans land on a (track, lane) pair — pid/tid in the exported Chrome trace.
+// measure::Campaign allocates one track per (route, size) cell and one lane
+// per run, so engine-level spans nest correctly without the engines knowing
+// anything about campaigns: they read the thread-local track context.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace droute::obs {
+
+enum class Clock : std::uint8_t { kSim = 0, kWall = 1 };
+
+struct Span {
+  std::string name;  // same `subsystem.noun_verb` convention as metrics
+  Clock clock = Clock::kSim;
+  std::uint32_t track = 0;  // Chrome trace pid
+  std::uint32_t lane = 0;   // Chrome trace tid
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+class Recorder {
+ public:
+  /// `span_capacity` bounds the buffer; spans beyond it are dropped and
+  /// counted (a trace that silently eats memory is worse than a gap).
+  explicit Recorder(std::size_t span_capacity = 1u << 20);
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  Registry& metrics() { return registry_; }
+  const Registry& metrics() const { return registry_; }
+
+  void record_span(Span span);
+  std::vector<Span> spans() const;
+  std::size_t span_count() const;
+  std::uint64_t dropped_spans() const;
+
+  /// Allocates a fresh track id and names it (Chrome trace process name).
+  /// Track 0 is the implicit default track, named "main".
+  std::uint32_t new_track(std::string name);
+  std::vector<std::string> track_names() const;  // index == track id
+
+  /// Wall-clock seconds since this recorder was constructed.
+  double wall_now_s() const;
+
+ private:
+  Registry registry_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::vector<std::string> track_names_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// --- Global installation (non-owning) --------------------------------------
+
+/// Installs `recorder` as the process-wide sink (nullptr disables recording).
+/// Returns the previously installed recorder.
+Recorder* set_recorder(Recorder* recorder);
+Recorder* recorder();
+inline bool enabled() { return recorder() != nullptr; }
+
+/// RAII install/restore for tests and scoped tooling.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder* r) : previous_(set_recorder(r)) {}
+  ~ScopedRecorder() { set_recorder(previous_); }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* previous_;
+};
+
+// --- Instrument lookup ------------------------------------------------------
+
+/// Resolve a handle against the installed recorder; nullptr when disabled.
+/// Cache the result in a member whose lifetime sits inside the recorder's —
+/// never in a function-local static (it would dangle across reinstalls).
+Counter* counter(std::string_view name);
+Gauge* gauge(std::string_view name);
+Histogram* histogram(std::string_view name,
+                     const std::vector<double>& bounds = duration_bounds_s());
+
+/// Null-safe mutation helpers: the disabled path is one predictable branch.
+inline void add(Counter* c, std::uint64_t delta = 1) {
+  if (c != nullptr) c->add(delta);
+}
+inline void set(Gauge* g, double value) {
+  if (g != nullptr) g->set(value);
+}
+inline void observe(Histogram* h, double value) {
+  if (h != nullptr) h->observe(value);
+}
+
+/// One-shot counter bump by name, for call sites without a natural place to
+/// cache a handle (e.g. free functions in wire/). Costs a registry lookup
+/// when enabled, a single branch when disabled.
+void count(std::string_view name, std::uint64_t delta = 1);
+
+// --- Track context (thread-local) -------------------------------------------
+
+struct TrackContext {
+  std::uint32_t track = 0;
+  std::uint32_t lane = 0;
+};
+
+TrackContext track_context();
+void set_track_context(TrackContext context);
+
+class ScopedTrack {
+ public:
+  ScopedTrack(std::uint32_t track, std::uint32_t lane)
+      : previous_(track_context()) {
+    set_track_context({track, lane});
+  }
+  ~ScopedTrack() { set_track_context(previous_); }
+  ScopedTrack(const ScopedTrack&) = delete;
+  ScopedTrack& operator=(const ScopedTrack&) = delete;
+
+ private:
+  TrackContext previous_;
+};
+
+// --- Span emission -----------------------------------------------------------
+
+/// Records a completed span on the current track context. No-op when
+/// disabled; call sites only need to have captured the start timestamp.
+void emit_span(std::string_view name, Clock clock, double start_s,
+               double end_s,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+/// RAII wall-clock span for synchronous sections. Captures the installed
+/// recorder at construction; zero work when disabled.
+class ScopedWallSpan {
+ public:
+  explicit ScopedWallSpan(std::string_view name);
+  ~ScopedWallSpan();
+  ScopedWallSpan(const ScopedWallSpan&) = delete;
+  ScopedWallSpan& operator=(const ScopedWallSpan&) = delete;
+
+ private:
+  Recorder* recorder_;
+  std::string name_;
+  double start_s_ = 0.0;
+};
+
+}  // namespace droute::obs

@@ -3,8 +3,13 @@
 #include <utility>
 
 #include "check/contract.h"
+#include "obs/recorder.h"
 
 namespace droute::sim {
+
+Simulator::Simulator()
+    : obs_events_executed_(obs::counter("sim.events_executed_total")),
+      obs_queue_depth_(obs::gauge("sim.queue_depth")) {}
 
 EventId Simulator::schedule_at(Time at, Handler handler) {
   DROUTE_CHECK(at >= now_, "event scheduled in the past");
@@ -56,6 +61,8 @@ bool Simulator::step() {
   Handler handler = std::move(it->second);
   handlers_.erase(it);
   ++executed_;
+  obs::add(obs_events_executed_);
+  obs::set(obs_queue_depth_, static_cast<double>(pending()));
   handler();
   return true;
 }

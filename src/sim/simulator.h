@@ -19,6 +19,11 @@
 #include <unordered_set>
 #include <vector>
 
+namespace droute::obs {
+class Counter;
+class Gauge;
+}  // namespace droute::obs
+
 namespace droute::sim {
 
 using Time = double;  // simulated seconds since simulation start
@@ -46,7 +51,9 @@ class Simulator {
  public:
   using Handler = std::function<void()>;
 
-  Simulator() = default;
+  /// Resolves obs instrument handles against the recorder installed at
+  /// construction time (nullptr — and therefore free — when none is).
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -120,6 +127,9 @@ class Simulator {
   std::unordered_map<std::uint64_t, Handler> handlers_;
   mutable std::unordered_set<std::uint64_t> cancelled_;
   StepObserver step_observer_;
+  // obs handles (null when recording is disabled at construction).
+  obs::Counter* obs_events_executed_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
 };
 
 }  // namespace droute::sim

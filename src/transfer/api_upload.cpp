@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "check/contract.h"
+#include "obs/recorder.h"
 #include "util/logging.h"
 
 namespace droute::transfer {
@@ -20,7 +21,21 @@ struct ApiUploadEngine::Job {
   int attempts_this_chunk = 0;
   cloud::SessionId session = 0;
   cloud::ChunkDigester digester;
+  double chunk_start = 0.0;  // sim time the in-flight chunk PUT started
 };
+
+namespace {
+// Whole-upload trace span, emitted once per job on any outcome.
+void emit_upload_span(const UploadResult& result) {
+  if (!obs::enabled()) return;
+  obs::emit_span("transfer.api_upload", obs::Clock::kSim, result.start_time,
+                 result.end_time,
+                 {{"bytes", std::to_string(result.payload_bytes)},
+                  {"chunks", std::to_string(result.chunks)},
+                  {"retries", std::to_string(result.throttle_retries)},
+                  {"ok", result.success ? "1" : "0"}});
+}
+}  // namespace
 
 // After this many consecutive 429s on one chunk the upload gives up (real
 // clients surface the error to the user at a similar depth).
@@ -31,6 +46,9 @@ ApiUploadEngine::ApiUploadEngine(net::Fabric* fabric,
                                  net::NodeId server_node)
     : fabric_(fabric), server_(server), server_node_(server_node) {
   DROUTE_CHECK(fabric_ && server_, "ApiUploadEngine: null dependency");
+  obs_throttle_retries_ = obs::counter("transfer.throttle_retries_total");
+  obs_backoff_wait_ =
+      obs::histogram("transfer.backoff_wait_s", obs::duration_bounds_s());
 }
 
 void ApiUploadEngine::fail(std::shared_ptr<Job> job, std::string error) {
@@ -38,6 +56,7 @@ void ApiUploadEngine::fail(std::shared_ptr<Job> job, std::string error) {
   job->result.success = false;
   job->result.error = std::move(error);
   job->result.end_time = fabric_->simulator()->now();
+  emit_upload_span(job->result);
   job->done(job->result);
 }
 
@@ -100,11 +119,13 @@ void ApiUploadEngine::send_next_chunk(std::shared_ptr<Job> job) {
           }
           job->result.success = true;
           job->result.end_time = fabric_->simulator()->now();
+          emit_upload_span(job->result);
           job->done(job->result);
         });
     return;
   }
 
+  job->chunk_start = fabric_->simulator()->now();
   const std::uint64_t chunk_bytes = job->chunks[job->next_chunk];
   const std::uint64_t wire = chunk_bytes + profile.per_chunk_header_bytes;
   net::FlowOptions flow_options;
@@ -137,12 +158,26 @@ void ApiUploadEngine::send_next_chunk(std::shared_ptr<Job> job) {
                 static_cast<double>(1 << job->attempts_this_chunk);
             ++job->attempts_this_chunk;
             ++job->result.throttle_retries;
+            obs::add(obs_throttle_retries_);
+            obs::observe(obs_backoff_wait_, backoff);
+            if (obs::enabled()) {
+              obs::emit_span("transfer.chunk_put", obs::Clock::kSim,
+                             job->chunk_start, fabric_->simulator()->now(),
+                             {{"offset", std::to_string(job->offset)},
+                              {"status", "429"}});
+            }
             fabric_->simulator()->schedule_in(
                 backoff, [this, job] { send_next_chunk(job); });
             return;
           }
           fail(job, "append rejected: " + status.error().message);
           return;
+        }
+        if (obs::enabled()) {
+          obs::emit_span("transfer.chunk_put", obs::Clock::kSim,
+                         job->chunk_start, fabric_->simulator()->now(),
+                         {{"offset", std::to_string(job->offset)},
+                          {"status", "ok"}});
         }
         job->attempts_this_chunk = 0;
         job->digester.add_chunk(digest);

@@ -13,6 +13,11 @@
 #include "net/fabric.h"
 #include "transfer/file_spec.h"
 
+namespace droute::obs {
+class Counter;
+class Histogram;
+}  // namespace droute::obs
+
 namespace droute::transfer {
 
 struct UploadResult {
@@ -59,6 +64,9 @@ class ApiUploadEngine {
   net::Fabric* fabric_;
   cloud::StorageServer* server_;
   net::NodeId server_node_;
+  // obs handles (null when recording is disabled at construction).
+  obs::Counter* obs_throttle_retries_ = nullptr;
+  obs::Histogram* obs_backoff_wait_ = nullptr;
 };
 
 }  // namespace droute::transfer

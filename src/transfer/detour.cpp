@@ -3,9 +3,30 @@
 #include <memory>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "util/logging.h"
 
 namespace droute::transfer {
+
+namespace {
+
+const char* mode_name(DetourMode mode) {
+  return mode == DetourMode::kStoreAndForward ? "store_and_forward"
+                                              : "pipelined";
+}
+
+// Whole-detour trace span, emitted once per transfer on any outcome. Leg
+// spans are emitted separately as the legs complete.
+void emit_detour_span(const DetourResult& result) {
+  if (!obs::enabled()) return;
+  obs::emit_span("transfer.detour", obs::Clock::kSim, result.start_time,
+                 result.end_time,
+                 {{"mode", mode_name(result.mode)},
+                  {"bytes", std::to_string(result.payload_bytes)},
+                  {"ok", result.success ? "1" : "0"}});
+}
+
+}  // namespace
 
 void DetourEngine::transfer(net::NodeId client, net::NodeId intermediate,
                             const FileSpec& file, Callback done,
@@ -31,21 +52,28 @@ void DetourEngine::store_and_forward(net::NodeId client,
       [this, intermediate, file, done, result,
        options](const RsyncResult& leg1) {
         result->leg1_s = leg1.duration_s();
+        const double leg1_end = fabric_->simulator()->now();
+        obs::emit_span("transfer.detour_leg1", obs::Clock::kSim,
+                       result->start_time, leg1_end);
         if (!leg1.success) {
           result->error = "detour leg 1 (rsync): " + leg1.error;
-          result->end_time = fabric_->simulator()->now();
+          result->end_time = leg1_end;
+          emit_detour_span(*result);
           done(*result);
           return;
         }
         api_->upload(
             intermediate, file,
-            [this, done, result](const UploadResult& leg2) {
+            [this, done, result, leg1_end](const UploadResult& leg2) {
               result->leg2_s = leg2.duration_s();
               result->success = leg2.success;
               if (!leg2.success) {
                 result->error = "detour leg 2 (API): " + leg2.error;
               }
               result->end_time = fabric_->simulator()->now();
+              obs::emit_span("transfer.detour_leg2", obs::Clock::kSim,
+                             leg1_end, result->end_time);
+              emit_detour_span(*result);
               done(*result);
             },
             options.api);
@@ -110,6 +138,7 @@ void DetourEngine::pipelined(net::NodeId client, net::NodeId intermediate,
     if (self->session != 0) api_->server()->abandon(self->session);
     self->result->error = error;
     self->result->end_time = fabric_->simulator()->now();
+    emit_detour_span(*self->result);
     self->done(*self->result);
   };
 
@@ -158,6 +187,7 @@ void DetourEngine::pipelined(net::NodeId client, net::NodeId intermediate,
             }
             self->result->success = true;
             self->result->end_time = fabric_->simulator()->now();
+            emit_detour_span(*self->result);
             self->done(*self->result);
           });
       return;
@@ -226,6 +256,9 @@ void DetourEngine::pipelined(net::NodeId client, net::NodeId intermediate,
               self->leg1_next == self->chunks.size()) {
             self->result->leg1_s =
                 fabric_->simulator()->now() - self->result->start_time;
+            obs::emit_span("transfer.detour_leg1", obs::Clock::kSim,
+                           self->result->start_time,
+                           fabric_->simulator()->now());
           }
           self->pump_leg1();
           self->pump_leg2();

@@ -34,6 +34,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -3,8 +3,10 @@
 // nothing, so the pool needs no work stealing).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -16,6 +18,14 @@ namespace droute::util {
 
 class ThreadPool {
  public:
+  /// Point-in-time execution statistics (see stats()).
+  struct Stats {
+    std::uint64_t submitted = 0;     // tasks ever enqueued
+    std::uint64_t executed = 0;      // tasks that finished running
+    std::size_t queued = 0;          // tasks waiting right now
+    std::size_t peak_queued = 0;     // high-water mark of the queue
+  };
+
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
@@ -27,6 +37,30 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Tasks currently waiting in the queue (snapshot; racy by nature).
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Tasks that have finished executing so far.
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent snapshot of the pool's counters.
+  Stats stats() const {
+    Stats s;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      s.submitted = submitted_;
+      s.queued = queue_.size();
+      s.peak_queued = peak_queued_;
+    }
+    s.executed = executed_.load(std::memory_order_relaxed);
+    return s;
+  }
+
   /// Enqueue a task; returns a future for its result.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
@@ -37,6 +71,8 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace_back([task]() { (*task)(); });
+      ++submitted_;
+      if (queue_.size() > peak_queued_) peak_queued_ = queue_.size();
     }
     cv_.notify_one();
     return future;
@@ -52,9 +88,12 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::size_t peak_queued_ = 0;
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 }  // namespace droute::util

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
 namespace droute::wire {
 
 RateLimiter::RateLimiter(double rate_bytes_per_s, std::uint64_t burst_bytes)
@@ -11,7 +14,11 @@ RateLimiter::RateLimiter(double rate_bytes_per_s, std::uint64_t burst_bytes)
                  ? static_cast<double>(burst_bytes)
                  : std::max(65536.0, rate_bytes_per_s / 8.0)),
       tokens_(burst_),
-      last_refill_(Clock::now()) {}
+      last_refill_(Clock::now()) {
+  obs_token_waits_ = obs::counter("wire.token_waits_total");
+  obs_token_wait_ =
+      obs::histogram("wire.token_wait_s", obs::duration_bounds_s());
+}
 
 void RateLimiter::refill_locked(Clock::time_point now) {
   const std::chrono::duration<double> dt = now - last_refill_;
@@ -34,6 +41,9 @@ void RateLimiter::acquire(std::uint64_t bytes) {
     wait = std::chrono::nanoseconds(
         static_cast<std::int64_t>(-tokens_ / rate_ * 1e9));
   }
+  obs::add(obs_token_waits_);
+  obs::observe(obs_token_wait_,
+               std::chrono::duration<double>(wait).count());
   std::this_thread::sleep_for(wait);
 }
 

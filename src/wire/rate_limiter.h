@@ -10,6 +10,11 @@
 #include <cstdint>
 #include <mutex>
 
+namespace droute::obs {
+class Counter;
+class Histogram;
+}  // namespace droute::obs
+
 namespace droute::wire {
 
 class RateLimiter {
@@ -38,6 +43,9 @@ class RateLimiter {
   double tokens_;
   Clock::time_point last_refill_;
   std::mutex mutex_;
+  // obs handles (null when recording is disabled at construction).
+  obs::Counter* obs_token_waits_ = nullptr;
+  obs::Histogram* obs_token_wait_ = nullptr;
 };
 
 }  // namespace droute::wire

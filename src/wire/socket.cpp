@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/recorder.h"
+
 namespace droute::wire {
 
 namespace {
@@ -46,6 +48,9 @@ util::Status Stream::send_all(std::span<const std::uint8_t> data) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  // By-name lookup rather than a cached handle: Stream is a short-lived
+  // value type, so there is no construction point tied to recorder lifetime.
+  obs::count("wire.bytes_sent_total", sent);
   return util::Status::success();
 }
 
@@ -63,6 +68,7 @@ util::Status Stream::recv_all(std::span<std::uint8_t> out) {
     }
     received += static_cast<std::size_t>(n);
   }
+  obs::count("wire.bytes_received_total", received);
   return util::Status::success();
 }
 

@@ -1,8 +1,8 @@
-// Concurrency stress for util::ThreadPool, util::logging and the
-// check::contract globals. These tests are value-light on purpose: their
-// job is to give TSan (the `tsan` preset) enough real contention to flag
-// any data race in the shared state. They still assert the visible
-// results so they earn their keep in uninstrumented runs too.
+// Concurrency stress for util::ThreadPool, util::logging, the
+// check::contract globals and the obs recorder. These tests are value-light
+// on purpose: their job is to give TSan (the `tsan` preset) enough real
+// contention to flag any data race in the shared state. They still assert
+// the visible results so they earn their keep in uninstrumented runs too.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "check/contract.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -59,6 +62,20 @@ TEST(ThreadPoolStress, ExceptionPropagatesUnderLoad) {
                                    }
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPoolStress, StatsTrackSubmissionAndExecution) {
+  constexpr std::size_t kTasks = 2'000;
+  ThreadPool pool(4);
+  pool.parallel_for(kTasks, [](std::size_t) {});
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, kTasks);
+  EXPECT_EQ(stats.executed, kTasks);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_GE(stats.peak_queued, 1u);
+  EXPECT_LE(stats.peak_queued, kTasks);
+  EXPECT_EQ(pool.tasks_executed(), kTasks);
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 TEST(ThreadPoolStress, RepeatedConstructionAndTeardown) {
@@ -122,6 +139,76 @@ TEST(ContractStress, ConcurrentFailuresEachThrow) {
     }
   });
   EXPECT_EQ(caught.load(), 200);
+}
+
+TEST(RecorderStress, ConcurrentWritersAndSnapshotReaders) {
+  // Writers hammer every instrument kind and the span buffer while a reader
+  // repeatedly exports the full CSV — the exact contention pattern of a
+  // parallel campaign being dumped mid-flight.
+  obs::Recorder recorder;
+  obs::ScopedRecorder install(&recorder);
+  constexpr int kWriters = 6;
+  constexpr int kOpsEach = 2'000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::metrics_csv(recorder.metrics());
+      (void)recorder.spans();
+    }
+  });
+
+  ThreadPool pool(kWriters);
+  pool.parallel_for(kWriters, [&](std::size_t w) {
+    obs::Counter* hits = obs::counter("stress.hits_total");
+    obs::Gauge* depth = obs::gauge("stress.depth");
+    obs::Histogram* wait = obs::histogram("stress.wait_s");
+    obs::ScopedTrack scoped(0, static_cast<std::uint32_t>(w));
+    for (int i = 0; i < kOpsEach; ++i) {
+      obs::add(hits);
+      obs::set(depth, static_cast<double>(i));
+      obs::observe(wait, 1e-3 * static_cast<double>(i % 100));
+      obs::count("stress.named_total");
+      if (i % 10 == 0) {
+        obs::emit_span("stress.op", obs::Clock::kWall, 0.0,
+                       1e-3 * static_cast<double>(i));
+      }
+    }
+  });
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(recorder.metrics().counter("stress.hits_total")->value(),
+            static_cast<std::uint64_t>(kWriters) * kOpsEach);
+  EXPECT_EQ(recorder.metrics().counter("stress.named_total")->value(),
+            static_cast<std::uint64_t>(kWriters) * kOpsEach);
+  const auto snap = recorder.metrics().histogram("stress.wait_s")->snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kWriters) * kOpsEach);
+  EXPECT_EQ(recorder.span_count() + recorder.dropped_spans(),
+            static_cast<std::uint64_t>(kWriters) * (kOpsEach / 10));
+}
+
+TEST(RecorderStress, InstallUninstallRacesWithOneShotCounts) {
+  // obs::count() resolves the global recorder on every call; flipping the
+  // installation concurrently exercises the acquire/release handoff. Bumps
+  // land in the recorder or vanish — either is fine, racing is not.
+  obs::Recorder recorder;
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::set_recorder(&recorder);
+      obs::set_recorder(nullptr);
+    }
+  });
+  ThreadPool pool(4);
+  pool.parallel_for(400, [](std::size_t) {
+    obs::count("stress.flicker_total");
+    (void)obs::enabled();
+  });
+  stop.store(true);
+  flipper.join();
+  obs::set_recorder(nullptr);
+  SUCCEED();  // no crash / no TSan report is the assertion
 }
 
 }  // namespace

@@ -16,6 +16,12 @@ Rules, all scoped to src/:
                 above). The types are class-level [[nodiscard]] too; the
                 per-function attribute keeps the contract visible at the
                 declaration site and survives type aliasing.
+  metric-name   obs metric name literals follow the `subsystem.noun_verb`
+                convention (lowercase dotted segments): counters end in
+                `_total`, histograms end in a unit suffix (_s, _bytes,
+                _mbps, _ratio), gauges carry neither. Checked at every
+                counter()/gauge()/histogram()/count() call site so exported
+                dumps stay greppable (DESIGN.md §9).
 
 A line can waive one rule with an inline marker, stating the reason:
     ... // lint: allow(raw-new) — private ctor, owned by unique_ptr
@@ -49,6 +55,15 @@ DECL_EXCLUDE_RE = re.compile(
 )
 
 NEW_DELETE_RE = re.compile(r"\bnew\b|\bdelete\b")
+
+# Metric-name literals at instrument call sites. Runs on RAW lines (names
+# live inside string literals, which strip_code removes).
+METRIC_CALL_RE = re.compile(
+    r"(?:obs::|\.|->)(?P<kind>counter|gauge|histogram|count)\s*\(\s*"
+    r"\"(?P<name>[^\"]*)\""
+)
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+HISTOGRAM_UNIT_SUFFIXES = ("_s", "_bytes", "_mbps", "_ratio")
 
 
 def strip_code(line: str) -> str:
@@ -130,6 +145,7 @@ class Linter:
             self.check_raw_new(path, line_no, code, waivers[idx])
             if rel not in TIME_EQ_EXEMPT:
                 self.check_time_eq(path, line_no, code, waivers[idx])
+            self.check_metric_name(path, line_no, raw_lines[idx], waivers[idx])
         if path.suffix == ".h":
             self.check_nodiscard(path, stripped, waivers)
 
@@ -167,6 +183,40 @@ class Linter:
                 "direct ==/!= on a sim::Time expression — use sim::time_eq "
                 "or sim::time_ne with an explicit epsilon",
             )
+
+    def check_metric_name(
+        self, path: Path, line_no: int, raw: str, allowed: set[str]
+    ) -> None:
+        if "metric-name" in allowed:
+            return
+        for match in METRIC_CALL_RE.finditer(raw):
+            kind = match.group("kind")
+            name = match.group("name")
+            if not METRIC_NAME_RE.match(name):
+                self.report(
+                    path, line_no, "metric-name",
+                    f'"{name}" is not `subsystem.noun_verb` '
+                    "(lowercase dotted segments)",
+                )
+                continue
+            if kind in ("counter", "count") and not name.endswith("_total"):
+                self.report(
+                    path, line_no, "metric-name",
+                    f'counter "{name}" must end in _total',
+                )
+            elif kind == "gauge" and name.endswith("_total"):
+                self.report(
+                    path, line_no, "metric-name",
+                    f'gauge "{name}" must not end in _total',
+                )
+            elif kind == "histogram" and not name.endswith(
+                HISTOGRAM_UNIT_SUFFIXES
+            ):
+                self.report(
+                    path, line_no, "metric-name",
+                    f'histogram "{name}" must end in a unit suffix '
+                    f"({', '.join(HISTOGRAM_UNIT_SUFFIXES)})",
+                )
 
     def check_nodiscard(
         self, path: Path, lines: list[str], waivers: list[set[str]]

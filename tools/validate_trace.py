@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file produced by droute::obs.
+
+Checks the subset of the trace_event spec our exporter emits (and that
+chrome://tracing / Perfetto require to render anything):
+
+  * the file parses as JSON with a non-empty `traceEvents` list;
+  * every event has a `ph` phase; only "X" (complete) and "M" (metadata)
+    phases are expected from the exporter;
+  * "X" events carry name / ts / dur / pid / tid, with numeric ts, a
+    non-negative dur, and a `subsystem.noun_verb` span name;
+  * "M" events are `process_name` records with a string args.name;
+  * every pid referenced by a span has a process_name record (Perfetto
+    renders unnamed tracks, but an unnamed track means the campaign
+    track-allocation plumbing broke).
+
+Usage: tools/validate_trace.py <trace.json>
+Exits non-zero iff the trace is invalid; prints a one-line summary when OK.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+
+
+def validate(path: Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot parse {path}: {exc}"]
+
+    if not isinstance(document, dict):
+        return ["top level must be a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    if not events:
+        return ["traceEvents is empty — nothing was recorded"]
+
+    named_pids: set[int] = set()
+    span_pids: set[int] = set()
+    spans = 0
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") != "process_name":
+                errors.append(f"{where}: unexpected metadata {event.get('name')!r}")
+                continue
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                errors.append(f"{where}: process_name needs args.name string")
+                continue
+            named_pids.add(event.get("pid"))
+        elif phase == "X":
+            spans += 1
+            name = event.get("name")
+            if not isinstance(name, str) or not SPAN_NAME_RE.match(name):
+                errors.append(
+                    f"{where}: span name {name!r} is not subsystem.noun_verb"
+                )
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    errors.append(f"{where}: {key} must be numeric")
+            if isinstance(event.get("dur"), (int, float)) and event["dur"] < 0:
+                errors.append(f"{where}: negative dur {event['dur']}")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    errors.append(f"{where}: {key} must be an integer")
+            if isinstance(event.get("pid"), int):
+                span_pids.add(event["pid"])
+            args = event.get("args")
+            if args is not None and not isinstance(args, dict):
+                errors.append(f"{where}: args must be an object")
+        else:
+            errors.append(f"{where}: unexpected phase {phase!r}")
+
+    if spans == 0:
+        errors.append("trace contains metadata but no spans")
+    for pid in sorted(span_pids - named_pids):
+        errors.append(f"pid {pid} has spans but no process_name record")
+
+    if not errors:
+        print(
+            f"{path}: OK — {spans} span(s) across "
+            f"{len(span_pids)} track(s), {len(events)} event(s) total"
+        )
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = validate(Path(sys.argv[1]))
+    for error in errors:
+        print(f"validate_trace: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
