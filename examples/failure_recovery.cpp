@@ -11,8 +11,30 @@
 #include "core/monitor.h"
 #include "core/overlay.h"
 #include "scenario/north_america.h"
+#include "sim/task.h"
 #include "trace/route_monitor.h"
+#include "transfer/file_spec.h"
+#include "transfer/rsync_engine.h"
 #include "util/units.h"
+
+namespace {
+
+// The probe, written against the coroutine API directly: push 5 MB across
+// the detour leg and yield the achieved goodput in Mbps (0 on failure).
+// Top-to-bottom control flow — no callback plumbing.
+droute::sim::Task<double> probe_leg(droute::scenario::World& world) {
+  using namespace droute;
+  transfer::RsyncEngine engine(&world.fabric());
+  const transfer::FileSpec file = transfer::make_file_mb(5, 42);
+  auto push = engine.push_task(world.node("planetlab1.cs.ubc.ca"),
+                               world.node("cluster.cs.ualberta.ca"), file);
+  const auto result = co_await push;
+  if (!result.ok() || !result.value().success) co_return 0.0;
+  co_return static_cast<double>(file.bytes) * 8e-6 /
+      result.value().duration_s();
+}
+
+}  // namespace
 
 int main() {
   using namespace droute;
@@ -28,10 +50,12 @@ int main() {
   routes.watch(ubc, ua);
 
   auto probe = [&]() -> double {
-    const auto t = world->run_rsync("planetlab1.cs.ubc.ca",
-                                    "cluster.cs.ualberta.ca", 5 * util::kMB);
-    if (!t.ok()) return 0.0;
-    return 5 * util::kMB * 8e-6 / t.value();
+    auto task = probe_leg(*world);
+    while (!task.done() && world->simulator().step()) {
+    }
+    if (!task.done()) task.cancel();  // starved: unwind the frame
+    if (!task.result().ok()) return 0.0;
+    return task.result().value();
   };
 
   std::printf("phase 1: steady state probes of the UBC->UAlberta leg\n");

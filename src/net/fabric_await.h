@@ -1,13 +1,18 @@
 // Coroutine adapter for the fabric: awaiting a TransferAwaitable suspends a
-// sim::Process until the flow completes and yields its FlowStats — letting
-// multi-leg transfer scripts read sequentially instead of as callback
-// chains (see tests/coroutine_test.cpp for a two-leg detour written
-// this way).
+// sim::Task until the flow completes and yields util::Result<FlowStats> —
+// letting multi-leg transfer scripts read sequentially instead of as
+// callback chains (the transfer/ engines are written this way).
 //
 // Usage (note the named local):
 //
 //   auto leg = net::transfer(fabric, src, dst, bytes);
-//   auto stats = co_await leg;
+//   const auto stats = co_await leg;     // util::Result<net::FlowStats>
+//   if (!stats.ok()) ...                 // synchronous rejection reason
+//
+// A flow that runs carries its fate in FlowStats::outcome (completed /
+// aborted / link failed); only flows the fabric refuses to start at all
+// surface as an error Result. Cancelling the awaiting task aborts the
+// in-flight flow, which resumes the task with outcome kAborted.
 //
 // The awaitable is deliberately *lvalue-only* (every awaiter method is
 // &-qualified): GCC 12 miscompiles temporaries awaited directly in a
@@ -18,14 +23,19 @@
 
 #include <coroutine>
 #include <optional>
+#include <type_traits>
 
 #include "net/fabric.h"
-#include "sim/process.h"
+#include "sim/task.h"
+#include "util/result.h"
 
 namespace droute::net {
 
 class TransferAwaitable {
  public:
+  // Flow ids start at 1 (Fabric::next_flow_id_), so 0 is "no flow".
+  static constexpr FlowId kNoFlow = 0;
+
   TransferAwaitable(Fabric& fabric, NodeId src, NodeId dst,
                     std::uint64_t bytes, FlowOptions options = {})
       : fabric_(&fabric), src_(src), dst_(dst), bytes_(bytes),
@@ -33,27 +43,47 @@ class TransferAwaitable {
 
   bool await_ready() const& noexcept { return false; }
 
-  bool await_suspend(std::coroutine_handle<> handle) & {
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> handle) & {
+    if constexpr (std::is_base_of_v<sim::TaskPromiseBase, Promise>) {
+      if (handle.promise().cancel_requested()) {
+        // Task already cancelled: do not put bytes on the wire.
+        error_ = util::Error::make("transfer cancelled before start",
+                                   sim::kErrCancelled);
+        return false;  // resume immediately
+      }
+    }
     auto flow = fabric_->start_flow(
         src_, dst_, bytes_,
         [this, handle](const FlowStats& stats) {
+          flow_id_ = kNoFlow;
           stats_ = stats;
+          if constexpr (std::is_base_of_v<sim::TaskPromiseBase, Promise>) {
+            handle.promise().disarm_canceller();
+          }
           handle.resume();
         },
         options_);
     if (!flow.ok()) {
-      // Flow rejected synchronously: resume immediately with no stats.
-      error_ = flow.error().message;
+      // Flow rejected synchronously: resume immediately with the reason.
+      error_ = flow.error();
       return false;  // do not suspend
+    }
+    flow_id_ = flow.value();
+    if constexpr (std::is_base_of_v<sim::TaskPromiseBase, Promise>) {
+      // Cancelling the task aborts the flow; abort fires the completion
+      // callback synchronously with kAborted, resuming the task.
+      handle.promise().arm_canceller(
+          [this] { fabric_->abort_flow(flow_id_); });
     }
     return true;
   }
 
-  /// The completed flow's stats, or nullopt when the flow was rejected
-  /// (check error() for the reason).
-  std::optional<FlowStats> await_resume() const& { return stats_; }
-
-  const std::string& error() const { return error_; }
+  /// The flow's stats (any outcome), or the synchronous rejection reason.
+  [[nodiscard]] util::Result<FlowStats> await_resume() const& {
+    if (stats_.has_value()) return *stats_;
+    return error_;
+  }
 
  private:
   Fabric* fabric_;
@@ -61,8 +91,9 @@ class TransferAwaitable {
   NodeId dst_;
   std::uint64_t bytes_;
   FlowOptions options_;
+  FlowId flow_id_ = kNoFlow;
   std::optional<FlowStats> stats_;
-  std::string error_;
+  util::Error error_;
 };
 
 /// Builds a transfer awaitable; bind it to a local, then co_await it.

@@ -5,6 +5,7 @@
 #include "check/contract.h"
 #include "cloud/oauth.h"
 #include "geo/geo.h"
+#include "sim/task.h"
 #include "transfer/rsync_engine.h"
 #include "util/logging.h"
 #include "util/units.h"
@@ -47,6 +48,33 @@ constexpr double kWide = 10000.0;   // effectively-unconstrained backbone Mbps
 constexpr double kCampus = 1000.0;  // campus LAN Mbps
 
 constexpr double kForegroundDeadlineS = 36000.0;  // simulated-time safety cap
+
+// Drives `task` to completion, bounded by `deadline_s` of simulated time.
+// Returns false when the deadline (or event starvation) hit first; in that
+// case the task is cancelled and the cancellation drained, so its frame has
+// unwound (flows aborted, sessions released) before the caller returns.
+template <typename R>
+bool drive(sim::Simulator& simulator, sim::Task<R>& task, double deadline_s) {
+  const double start = simulator.now();
+  while (!task.done() && simulator.now() - start < deadline_s) {
+    if (!simulator.step()) break;
+  }
+  if (task.done()) return true;
+  task.cancel();
+  while (!task.done() && simulator.step()) {
+  }
+  return false;
+}
+
+// Folds an engine task's join result into the campaign's Result<double>:
+// Task-level errors (escaped exceptions, cancellation) and domain failures
+// both surface as errors; success yields the transfer's elapsed seconds.
+template <typename R>
+util::Result<double> fold_elapsed(const util::Result<R>& joined) {
+  if (!joined.ok()) return util::Error{joined.error()};
+  if (!joined.value().success) return util::Error::make(joined.value().error);
+  return joined.value().duration_s();
+}
 
 }  // namespace
 
@@ -601,22 +629,17 @@ util::Result<std::string> World::stage_object(cloud::ProviderKind provider,
       config_.seed ^ ++upload_counter_ ^ 0x57a6e);
   file.bytes = bytes;
 
-  const double start = simulator_.now();
-  bool done = false;
-  bool ok = false;
-  std::string error;
-  api_engine(provider).upload(
-      intermediate_node(Intermediate::kUAlberta), file,
-      [&](const transfer::UploadResult& result) {
-        done = true;
-        ok = result.success;
-        error = result.error;
-      });
-  while (!done && simulator_.now() - start < kForegroundDeadlineS) {
-    if (!simulator_.step()) break;
+  auto task = api_engine(provider).upload_task(
+      intermediate_node(Intermediate::kUAlberta), file);
+  if (!drive(simulator_, task, kForegroundDeadlineS)) {
+    return util::Error::make("stage_object failed: ");
   }
-  if (!done || !ok) {
-    return util::Error::make("stage_object failed: " + error);
+  const auto& joined = task.result();
+  if (!joined.ok()) {
+    return util::Error::make("stage_object failed: " + joined.error().message);
+  }
+  if (!joined.value().success) {
+    return util::Error::make("stage_object failed: " + joined.value().error);
   }
   return file.name;
 }
@@ -627,38 +650,24 @@ util::Result<double> World::run_download(Client client,
                                          const std::string& name) {
   warm_up();
   const net::NodeId dst = client_node(client);
-  const double start = simulator_.now();
-  bool done = false;
-  bool ok = false;
-  std::string error;
-  double elapsed = 0.0;
+  util::Result<double> elapsed =
+      util::Error::make("download did not finish (deadline)");
 
   if (route == RouteChoice::kDirect) {
-    download_engine(provider).download(
-        dst, name, [&](const transfer::DownloadResult& result) {
-          done = true;
-          ok = result.success;
-          error = result.error;
-          elapsed = result.duration_s();
-        });
+    auto task = download_engine(provider).download_task(dst, name);
+    if (drive(simulator_, task, kForegroundDeadlineS)) {
+      elapsed = fold_elapsed(task.result());
+    }
   } else {
     const net::NodeId via = intermediate_node(
         route == RouteChoice::kViaUAlberta ? Intermediate::kUAlberta
                                            : Intermediate::kUMich);
-    detour_download_engine(provider).download(
-        dst, via, name, [&](const transfer::DownloadDetourResult& result) {
-          done = true;
-          ok = result.success;
-          error = result.error;
-          elapsed = result.duration_s();
-        });
-  }
-  while (!done && simulator_.now() - start < kForegroundDeadlineS) {
-    if (!simulator_.step()) break;
+    auto task = detour_download_engine(provider).download_task(dst, via, name);
+    if (drive(simulator_, task, kForegroundDeadlineS)) {
+      elapsed = fold_elapsed(task.result());
+    }
   }
   for (auto& source : cross_) source->stop();
-  if (!done) return util::Error::make("download did not finish (deadline)");
-  if (!ok) return util::Error::make(error);
   return elapsed;
 }
 
@@ -674,42 +683,26 @@ util::Result<double> World::run_upload(Client client,
   transfer::FileSpec sized = file;
   sized.bytes = bytes;  // honor exact byte counts (not only whole MB)
 
-  const double start = simulator_.now();
-  bool done = false;
-  bool ok = false;
-  std::string error;
-  double elapsed = 0.0;
+  util::Result<double> elapsed =
+      util::Error::make("transfer did not finish (deadline)");
 
   if (route == RouteChoice::kDirect) {
-    api_engine(provider).upload(src, sized,
-                                [&](const transfer::UploadResult& result) {
-                                  done = true;
-                                  ok = result.success;
-                                  error = result.error;
-                                  elapsed = result.duration_s();
-                                });
+    auto task = api_engine(provider).upload_task(src, sized);
+    if (drive(simulator_, task, kForegroundDeadlineS)) {
+      elapsed = fold_elapsed(task.result());
+    }
   } else {
     const net::NodeId via = intermediate_node(
         route == RouteChoice::kViaUAlberta ? Intermediate::kUAlberta
                                            : Intermediate::kUMich);
     transfer::DetourOptions options;
     options.mode = mode;
-    detour_engine(provider).transfer(
-        src, via, sized, [&](const transfer::DetourResult& result) {
-          done = true;
-          ok = result.success;
-          error = result.error;
-          elapsed = result.duration_s();
-        },
-        options);
-  }
-
-  while (!done && simulator_.now() - start < kForegroundDeadlineS) {
-    if (!simulator_.step()) break;
+    auto task = detour_engine(provider).transfer_task(src, via, sized, options);
+    if (drive(simulator_, task, kForegroundDeadlineS)) {
+      elapsed = fold_elapsed(task.result());
+    }
   }
   for (auto& source : cross_) source->stop();
-  if (!done) return util::Error::make("transfer did not finish (deadline)");
-  if (!ok) return util::Error::make(error);
   return elapsed;
 }
 
@@ -721,24 +714,13 @@ util::Result<double> World::run_rsync(const std::string& src_node,
   transfer::FileSpec file = transfer::make_file_mb(1, config_.seed);
   file.bytes = bytes;
 
-  const double start = simulator_.now();
-  bool done = false;
-  bool ok = false;
-  std::string error;
-  double elapsed = 0.0;
-  engine.push(node(src_node), node(dst_node), file,
-              [&](const transfer::RsyncResult& result) {
-                done = true;
-                ok = result.success;
-                error = result.error;
-                elapsed = result.duration_s();
-              });
-  while (!done && simulator_.now() - start < kForegroundDeadlineS) {
-    if (!simulator_.step()) break;
+  util::Result<double> elapsed =
+      util::Error::make("rsync did not finish (deadline)");
+  auto task = engine.push_task(node(src_node), node(dst_node), file);
+  if (drive(simulator_, task, kForegroundDeadlineS)) {
+    elapsed = fold_elapsed(task.result());
   }
   for (auto& source : cross_) source->stop();
-  if (!done) return util::Error::make("rsync did not finish (deadline)");
-  if (!ok) return util::Error::make(error);
   return elapsed;
 }
 

@@ -1,81 +1,26 @@
-// Coroutine processes over the discrete-event kernel (C++20).
-//
-// Callback-style event code inverts control flow; a Process is a coroutine
-// that reads top-to-bottom and suspends on simulated time:
+// Compatibility shim: sim::Process predates sim::Task<T> (sim/task.h) and
+// is now an alias for Task<void>. Existing process-style scripts keep
+// compiling unchanged:
 //
 //   sim::Process script(sim::Simulator& s, int& counter) {
 //     co_await sim::delay(s, 2.0);   // 2 simulated seconds pass
 //     ++counter;
-//     co_await sim::delay(s, 3.0);
-//     ++counter;
 //   }
 //
-// Semantics:
-//   * The body runs eagerly until its first suspension (initial_suspend is
-//     suspend_never), inside the caller's stack frame.
-//   * Each `co_await delay(...)` schedules a resume event; ties with plain
-//     events follow the kernel's deterministic FIFO order.
-//   * Processes are detached: the frame destroys itself when the body
-//     returns. The caller may keep the returned handle to poll done().
-//   * All pending resumes live in the simulator's queue, so a Process must
-//     not outlive its Simulator (same rule as any scheduled handler).
+// What changed relative to the original detached Process:
+//   * the handle is joinable (done()) and cancellable (cancel());
+//   * an escaping exception becomes a failed util::Status on the handle
+//     instead of std::terminate();
+//   * co_await sim::delay(...) yields a bool — true when the delay
+//     elapsed, false when the process was cancelled mid-sleep (detached
+//     scripts can keep ignoring it).
+// New code should say Task<void> (or a value-returning Task<T>) directly.
 #pragma once
 
-#include <coroutine>
-#include <exception>
-#include <memory>
-
-#include "sim/simulator.h"
+#include "sim/task.h"
 
 namespace droute::sim {
 
-class Process {
- public:
-  struct promise_type {
-    std::shared_ptr<bool> done = std::make_shared<bool>(false);
-
-    Process get_return_object() { return Process(done); }
-    std::suspend_never initial_suspend() noexcept { return {}; }
-    std::suspend_never final_suspend() noexcept { return {}; }
-    void return_void() { *done = true; }
-    // A detached process has nowhere to deliver an exception; simulation
-    // invariants escaping a process are fatal by design (same policy as
-    // DROUTE_CHECK inside event handlers).
-    void unhandled_exception() { std::terminate(); }
-  };
-
-  /// True once the process body has returned.
-  bool done() const { return done_ == nullptr || *done_; }
-
- private:
-  explicit Process(std::shared_ptr<bool> done) : done_(std::move(done)) {}
-  std::shared_ptr<bool> done_;
-};
-
-/// Awaitable: suspend the process for `dt` simulated seconds.
-class DelayAwaitable {
- public:
-  DelayAwaitable(Simulator& simulator, Time dt)
-      : simulator_(&simulator), dt_(dt) {}
-
-  bool await_ready() const noexcept { return dt_ <= 0.0; }
-  void await_suspend(std::coroutine_handle<> handle) {
-    simulator_->schedule_in(dt_, [handle] { handle.resume(); });
-  }
-  void await_resume() const noexcept {}
-
- private:
-  Simulator* simulator_;
-  Time dt_;
-};
-
-inline DelayAwaitable delay(Simulator& simulator, Time dt) {
-  return DelayAwaitable(simulator, dt);
-}
-
-/// Awaitable: suspend until absolute simulated time `at` (no-op if past).
-inline DelayAwaitable delay_until(Simulator& simulator, Time at) {
-  return DelayAwaitable(simulator, at - simulator.now());
-}
+using Process = Task<void>;
 
 }  // namespace droute::sim

@@ -70,8 +70,10 @@ class Simulator {
   /// is a no-op returning false.
   bool cancel(EventId id);
 
-  /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Number of pending (non-cancelled) events. Exact: a live event has its
+  /// handler registered, so this never miscounts against heap entries whose
+  /// cancelled twins were already lazily skimmed off the heap.
+  std::size_t pending() const { return handlers_.size(); }
 
   /// Time of the next pending event, or kTimeInfinity when idle.
   Time next_event_time() const;

@@ -1,23 +1,14 @@
 #include "transfer/api_download.h"
 
+#include <utility>
 #include <vector>
 
 #include "check/contract.h"
 #include "cloud/provider.h"
+#include "net/fabric_await.h"
+#include "transfer/task_shim.h"
 
 namespace droute::transfer {
-
-struct ApiDownloadEngine::Job {
-  net::NodeId client = net::kInvalidNode;
-  std::string name;
-  Callback done;
-  DownloadResult result;
-  cloud::StoredObject object;
-  std::vector<std::uint64_t> chunks;
-  std::size_t next_chunk = 0;
-  std::uint64_t offset = 0;
-  cloud::ChunkDigester digester;
-};
 
 ApiDownloadEngine::ApiDownloadEngine(net::Fabric* fabric,
                                      cloud::StorageServer* server,
@@ -26,105 +17,102 @@ ApiDownloadEngine::ApiDownloadEngine(net::Fabric* fabric,
   DROUTE_CHECK(fabric_ && server_, "ApiDownloadEngine: null dependency");
 }
 
-void ApiDownloadEngine::fail(std::shared_ptr<Job> job, std::string error) {
-  job->result.success = false;
-  job->result.error = std::move(error);
-  job->result.end_time = fabric_->simulator()->now();
-  job->done(job->result);
-}
+sim::Task<DownloadResult> ApiDownloadEngine::download_task(
+    net::NodeId client, std::string name, ApiDownloadOptions options) {
+  sim::Simulator& simulator = *fabric_->simulator();
+  DownloadResult result;
+  result.start_time = simulator.now();
 
-void ApiDownloadEngine::download(net::NodeId client, const std::string& name,
-                                 Callback done, ApiDownloadOptions options) {
-  auto job = std::make_shared<Job>();
-  job->client = client;
-  job->name = name;
-  job->done = std::move(done);
-  job->result.start_time = fabric_->simulator()->now();
+  auto fail = [&](std::string error) -> DownloadResult {
+    result.success = false;
+    result.error = std::move(error);
+    result.end_time = simulator.now();
+    return result;
+  };
 
   auto rtt = fabric_->rtt_s(client, server_node_);
   if (!rtt.ok()) {
-    fail(job, "no route to provider: " + rtt.error().message);
-    return;
+    co_return fail("no route to provider: " + rtt.error().message);
   }
-  job->result.rtt_s = rtt.value();
+  result.rtt_s = rtt.value();
 
   double preamble_rtts = 1.0;  // metadata GET
   if (options.oauth != nullptr) {
     bool refreshed = false;
-    options.oauth->ensure_token(fabric_->simulator()->now(), &refreshed);
+    options.oauth->ensure_token(simulator.now(), &refreshed);
     if (refreshed) preamble_rtts += 1.0;
   }
 
-  auto object = server_->stat(name);
-  if (!object.ok()) {
-    fail(job, "metadata: " + object.error().message);
-    return;
+  auto stat = server_->stat(name);
+  if (!stat.ok()) {
+    co_return fail("metadata: " + stat.error().message);
   }
-  job->object = object.value();
-  job->result.payload_bytes = job->object.size;
+  const cloud::StoredObject object = stat.value();
+  result.payload_bytes = object.size;
 
-  auto chunks = cloud::chunk_sizes(server_->profile(), job->object.size);
-  if (!chunks.ok()) {
-    fail(job, chunks.error().message);
-    return;
+  auto chunk_plan = cloud::chunk_sizes(server_->profile(), object.size);
+  if (!chunk_plan.ok()) {
+    co_return fail(chunk_plan.error().message);
   }
-  job->chunks = std::move(chunks).value();
+  const std::vector<std::uint64_t> chunks = std::move(chunk_plan).value();
 
-  fabric_->simulator()->schedule_in(preamble_rtts * job->result.rtt_s,
-                                    [this, job] { fetch_next_chunk(job); });
+  auto preamble = sim::delay(simulator, preamble_rtts * result.rtt_s);
+  if (!co_await preamble) {
+    co_return fail("download cancelled during metadata preamble");
+  }
+
+  cloud::ChunkDigester digester;
+  std::uint64_t offset = 0;
+  for (std::size_t next_chunk = 0; next_chunk < chunks.size(); ++next_chunk) {
+    const std::uint64_t chunk = chunks[next_chunk];
+    auto range = server_->read_range(name, offset, chunk);
+    if (!range.ok()) {
+      co_return fail("range request: " + range.error().message);
+    }
+    const auto expected_digest = range.value();
+
+    net::FlowOptions flow_options;
+    flow_options.charge_slow_start = next_chunk == 0;
+    flow_options.label = "api-download-chunk";
+    const std::uint64_t wire =
+        chunk + server_->profile().per_chunk_header_bytes;
+
+    // Each ranged GET costs a request turnaround before the body streams.
+    auto turnaround =
+        sim::delay(simulator, server_->profile().per_chunk_rtts * result.rtt_s);
+    if (!co_await turnaround) {
+      co_return fail("download cancelled between chunks");
+    }
+    auto get = net::transfer(*fabric_, server_node_, client, wire,
+                             flow_options);
+    const auto stats = co_await get;
+    if (!stats.ok()) {
+      co_return fail("download flow rejected: " + stats.error().message);
+    }
+    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
+      co_return fail("download chunk flow failed");
+    }
+    digester.add_chunk(expected_digest);
+    offset += chunk;
+    ++result.chunks;
+  }
+
+  // All ranges received: verify the digest chain against the committed
+  // object digest (same accumulation the upload produced).
+  const auto accumulated = digester.finish();
+  result.integrity_ok = accumulated == object.md5;
+  result.success = result.integrity_ok;
+  if (!result.integrity_ok) {
+    result.error = "download integrity check failed";
+  }
+  result.end_time = simulator.now();
+  co_return result;
 }
 
-void ApiDownloadEngine::fetch_next_chunk(std::shared_ptr<Job> job) {
-  if (job->next_chunk == job->chunks.size()) {
-    // All ranges received: verify the digest chain against the committed
-    // object digest (same accumulation the upload produced).
-    const auto accumulated = job->digester.finish();
-    job->result.integrity_ok = accumulated == job->object.md5;
-    job->result.success = job->result.integrity_ok;
-    if (!job->result.integrity_ok) {
-      job->result.error = "download integrity check failed";
-    }
-    job->result.end_time = fabric_->simulator()->now();
-    job->done(job->result);
-    return;
-  }
-
-  const std::uint64_t chunk = job->chunks[job->next_chunk];
-  auto range = server_->read_range(job->name, job->offset, chunk);
-  if (!range.ok()) {
-    fail(job, "range request: " + range.error().message);
-    return;
-  }
-  const auto expected_digest = range.value();
-
-  net::FlowOptions flow_options;
-  flow_options.charge_slow_start = job->next_chunk == 0;
-  flow_options.label = "api-download-chunk";
-  const std::uint64_t wire =
-      chunk + server_->profile().per_chunk_header_bytes;
-
-  // Each ranged GET costs a request turnaround before the body streams.
-  fabric_->simulator()->schedule_in(
-      server_->profile().per_chunk_rtts * job->result.rtt_s,
-      [this, job, wire, chunk, expected_digest, flow_options] {
-        auto flow = fabric_->start_flow(
-            server_node_, job->client, wire,
-            [this, job, chunk, expected_digest](const net::FlowStats& stats) {
-              if (stats.outcome != net::FlowOutcome::kCompleted) {
-                fail(job, "download chunk flow failed");
-                return;
-              }
-              job->digester.add_chunk(expected_digest);
-              job->offset += chunk;
-              ++job->next_chunk;
-              ++job->result.chunks;
-              fetch_next_chunk(job);
-            },
-            flow_options);
-        if (!flow.ok()) {
-          fail(job, "download flow rejected: " + flow.error().message);
-        }
-      });
+void ApiDownloadEngine::download(net::NodeId client, const std::string& name,
+                                 Callback done, ApiDownloadOptions options) {
+  detail::deliver(download_task(client, name, options), std::move(done),
+                  fabric_->simulator());
 }
 
 }  // namespace droute::transfer

@@ -5,12 +5,12 @@
 #pragma once
 
 #include <functional>
-#include <memory>
 #include <string>
 
 #include "cloud/oauth.h"
 #include "cloud/storage_server.h"
 #include "net/fabric.h"
+#include "sim/task.h"
 
 namespace droute::transfer {
 
@@ -41,15 +41,16 @@ class ApiDownloadEngine {
   net::NodeId server_node() const { return server_node_; }
   cloud::StorageServer* server() const { return server_; }
 
-  /// Fetches object `name` from the provider down to `client`.
+  /// Coroutine form: fetches object `name` from the provider down to
+  /// `client`. Domain failures land inside DownloadResult.
+  sim::Task<DownloadResult> download_task(net::NodeId client, std::string name,
+                                          ApiDownloadOptions options = {});
+
+  /// Legacy callback shim over download_task(); `done` fires exactly once.
   void download(net::NodeId client, const std::string& name, Callback done,
                 ApiDownloadOptions options = {});
 
  private:
-  struct Job;
-  void fetch_next_chunk(std::shared_ptr<Job> job);
-  void fail(std::shared_ptr<Job> job, std::string error);
-
   net::Fabric* fabric_;
   cloud::StorageServer* server_;
   net::NodeId server_node_;

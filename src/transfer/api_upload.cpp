@@ -1,31 +1,18 @@
 #include "transfer/api_upload.h"
 
-#include <memory>
 #include <utility>
 #include <vector>
 
 #include "check/contract.h"
+#include "net/fabric_await.h"
 #include "obs/recorder.h"
+#include "transfer/task_shim.h"
 #include "util/logging.h"
 
 namespace droute::transfer {
 
-struct ApiUploadEngine::Job {
-  net::NodeId client = net::kInvalidNode;
-  FileSpec file;
-  Callback done;
-  UploadResult result;
-  std::vector<std::uint64_t> chunks;
-  std::size_t next_chunk = 0;
-  std::uint64_t offset = 0;
-  int attempts_this_chunk = 0;
-  cloud::SessionId session = 0;
-  cloud::ChunkDigester digester;
-  double chunk_start = 0.0;  // sim time the in-flight chunk PUT started
-};
-
 namespace {
-// Whole-upload trace span, emitted once per job on any outcome.
+// Whole-upload trace span, emitted once per upload on any outcome.
 void emit_upload_span(const UploadResult& result) {
   if (!obs::enabled()) return;
   obs::emit_span("transfer.api_upload", obs::Clock::kSim, result.start_time,
@@ -51,149 +38,159 @@ ApiUploadEngine::ApiUploadEngine(net::Fabric* fabric,
       obs::histogram("transfer.backoff_wait_s", obs::duration_bounds_s());
 }
 
-void ApiUploadEngine::fail(std::shared_ptr<Job> job, std::string error) {
-  if (job->session != 0) server_->abandon(job->session);
-  job->result.success = false;
-  job->result.error = std::move(error);
-  job->result.end_time = fabric_->simulator()->now();
-  emit_upload_span(job->result);
-  job->done(job->result);
+sim::Task<UploadResult> ApiUploadEngine::upload_task(net::NodeId client,
+                                                     FileSpec file,
+                                                     ApiUploadOptions options) {
+  sim::Simulator& simulator = *fabric_->simulator();
+  UploadResult result;
+  result.start_time = simulator.now();
+  result.payload_bytes = file.bytes;
+  cloud::SessionId session = 0;
+
+  // Single failure funnel: abandon the open session, stamp the result,
+  // emit the whole-upload span (any outcome), hand back the struct.
+  auto fail = [&](std::string error) -> UploadResult {
+    if (session != 0) {
+      server_->abandon(session);
+      session = 0;
+    }
+    result.success = false;
+    result.error = std::move(error);
+    result.end_time = simulator.now();
+    emit_upload_span(result);
+    return result;
+  };
+
+  auto rtt = fabric_->rtt_s(client, server_node_);
+  if (!rtt.ok()) {
+    co_return fail("no route to provider: " + rtt.error().message);
+  }
+  result.rtt_s = rtt.value();
+
+  auto chunk_plan = cloud::chunk_sizes(server_->profile(), file.bytes);
+  if (!chunk_plan.ok()) {
+    co_return fail(chunk_plan.error().message);
+  }
+  const std::vector<std::uint64_t> chunks = std::move(chunk_plan).value();
+
+  // OAuth: an expired token costs one token-endpoint round trip up front,
+  // folded into the session-init preamble wait below (one sim event).
+  double preamble_rtts = server_->profile().session_init_rtts;
+  if (options.oauth != nullptr) {
+    bool refreshed = false;
+    options.oauth->ensure_token(simulator.now(), &refreshed);
+    result.token_refreshed = refreshed;
+    if (refreshed) preamble_rtts += 1.0;
+  }
+
+  auto session_open = server_->create_session(file.name, file.bytes, file.seed);
+  if (!session_open.ok()) {
+    co_return fail(session_open.error().message);
+  }
+  session = session_open.value();
+
+  auto preamble = sim::delay(simulator, preamble_rtts * result.rtt_s);
+  if (!co_await preamble) {
+    co_return fail("upload cancelled during session preamble");
+  }
+
+  cloud::ChunkDigester digester;
+  std::uint64_t offset = 0;
+  int attempts_this_chunk = 0;
+  for (std::size_t next_chunk = 0; next_chunk < chunks.size();) {
+    const double chunk_start = simulator.now();
+    const std::uint64_t chunk_bytes = chunks[next_chunk];
+    const std::uint64_t wire =
+        chunk_bytes + server_->profile().per_chunk_header_bytes;
+    net::FlowOptions flow_options;
+    // The HTTP connection persists across chunks; only the first chunk pays
+    // the slow-start ramp.
+    flow_options.charge_slow_start = next_chunk == 0;
+    flow_options.label = "api-chunk";
+
+    auto put = net::transfer(*fabric_, client, server_node_, wire,
+                             flow_options);
+    const auto stats = co_await put;
+    if (!stats.ok()) {
+      co_return fail("chunk flow rejected: " + stats.error().message);
+    }
+    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
+      co_return fail(stats.value().outcome == net::FlowOutcome::kLinkFailed
+                         ? "link failed mid-chunk"
+                         : "chunk flow aborted");
+    }
+
+    const auto digest = file.chunk_digest(offset, chunk_bytes);
+    const auto append =
+        server_->append_chunk(session, offset, chunk_bytes, digest);
+    if (!append.ok()) {
+      if (append.error().code == 429 &&
+          attempts_this_chunk < kMaxThrottleRetries) {
+        // Honour Retry-After with exponential backoff, then resend the
+        // same chunk (its bytes are wasted — the real cost of being
+        // throttled mid-upload).
+        const double backoff =
+            server_->profile().retry_after_s *
+            static_cast<double>(1 << attempts_this_chunk);
+        ++attempts_this_chunk;
+        ++result.throttle_retries;
+        obs::add(obs_throttle_retries_);
+        obs::observe(obs_backoff_wait_, backoff);
+        if (obs::enabled()) {
+          obs::emit_span("transfer.chunk_put", obs::Clock::kSim, chunk_start,
+                         simulator.now(),
+                         {{"offset", std::to_string(offset)},
+                          {"status", "429"}});
+        }
+        auto wait = sim::delay(simulator, backoff);
+        if (!co_await wait) {
+          co_return fail("upload cancelled during throttle backoff");
+        }
+        continue;
+      }
+      co_return fail("append rejected: " + append.error().message);
+    }
+    if (obs::enabled()) {
+      obs::emit_span("transfer.chunk_put", obs::Clock::kSim, chunk_start,
+                     simulator.now(),
+                     {{"offset", std::to_string(offset)}, {"status", "ok"}});
+    }
+    attempts_this_chunk = 0;
+    digester.add_chunk(digest);
+    result.wire_bytes += stats.value().bytes;
+    offset += chunk_bytes;
+    ++next_chunk;
+    ++result.chunks;
+    // Chunk ack turnaround before the next request is issued.
+    auto turnaround =
+        sim::delay(simulator, server_->profile().per_chunk_rtts * result.rtt_s);
+    if (!co_await turnaround) {
+      co_return fail("upload cancelled between chunks");
+    }
+  }
+
+  // All chunks acked: finalize (commit) round trip, then report.
+  auto commit =
+      sim::delay(simulator, server_->profile().finalize_rtts * result.rtt_s);
+  if (!co_await commit) {
+    co_return fail("upload cancelled during finalize");
+  }
+  auto object = server_->finalize(session, digester.finish());
+  if (!object.ok()) {
+    session = 0;  // finalize consumed it
+    co_return fail(object.error().message);
+  }
+  session = 0;
+  result.success = true;
+  result.end_time = simulator.now();
+  emit_upload_span(result);
+  co_return result;
 }
 
 void ApiUploadEngine::upload(net::NodeId client, const FileSpec& file,
                              Callback done, ApiUploadOptions options) {
-  auto job = std::make_shared<Job>();
-  job->client = client;
-  job->file = file;
-  job->done = std::move(done);
-  job->result.start_time = fabric_->simulator()->now();
-  job->result.payload_bytes = file.bytes;
-
-  auto rtt = fabric_->rtt_s(client, server_node_);
-  if (!rtt.ok()) {
-    fail(job, "no route to provider: " + rtt.error().message);
-    return;
-  }
-  job->result.rtt_s = rtt.value();
-
-  auto chunks = cloud::chunk_sizes(server_->profile(), file.bytes);
-  if (!chunks.ok()) {
-    fail(job, chunks.error().message);
-    return;
-  }
-  job->chunks = std::move(chunks).value();
-
-  // OAuth: an expired token costs one token-endpoint round trip up front.
-  double preamble_rtts = server_->profile().session_init_rtts;
-  if (options.oauth != nullptr) {
-    bool refreshed = false;
-    options.oauth->ensure_token(fabric_->simulator()->now(), &refreshed);
-    job->result.token_refreshed = refreshed;
-    if (refreshed) preamble_rtts += 1.0;
-  }
-
-  auto session = server_->create_session(file.name, file.bytes, file.seed);
-  if (!session.ok()) {
-    fail(job, session.error().message);
-    return;
-  }
-  job->session = session.value();
-
-  fabric_->simulator()->schedule_in(
-      preamble_rtts * job->result.rtt_s,
-      [this, job] { send_next_chunk(job); });
-}
-
-void ApiUploadEngine::send_next_chunk(std::shared_ptr<Job> job) {
-  const cloud::ApiProfile& profile = server_->profile();
-  if (job->next_chunk == job->chunks.size()) {
-    // All chunks acked: finalize (commit) round trip, then report.
-    fabric_->simulator()->schedule_in(
-        profile.finalize_rtts * job->result.rtt_s, [this, job] {
-          auto object = server_->finalize(job->session,
-                                          job->digester.finish());
-          if (!object.ok()) {
-            job->session = 0;  // finalize consumed it
-            fail(job, object.error().message);
-            return;
-          }
-          job->result.success = true;
-          job->result.end_time = fabric_->simulator()->now();
-          emit_upload_span(job->result);
-          job->done(job->result);
-        });
-    return;
-  }
-
-  job->chunk_start = fabric_->simulator()->now();
-  const std::uint64_t chunk_bytes = job->chunks[job->next_chunk];
-  const std::uint64_t wire = chunk_bytes + profile.per_chunk_header_bytes;
-  net::FlowOptions flow_options;
-  // The HTTP connection persists across chunks; only the first chunk pays
-  // the slow-start ramp.
-  flow_options.charge_slow_start = job->next_chunk == 0;
-  flow_options.label = "api-chunk";
-
-  auto flow = fabric_->start_flow(
-      job->client, server_node_, wire,
-      [this, job](const net::FlowStats& stats) {
-        if (stats.outcome != net::FlowOutcome::kCompleted) {
-          fail(job, stats.outcome == net::FlowOutcome::kLinkFailed
-                        ? "link failed mid-chunk"
-                        : "chunk flow aborted");
-          return;
-        }
-        const std::uint64_t done_bytes = job->chunks[job->next_chunk];
-        const auto digest = job->file.chunk_digest(job->offset, done_bytes);
-        const auto status = server_->append_chunk(job->session, job->offset,
-                                                  done_bytes, digest);
-        if (!status.ok()) {
-          if (status.error().code == 429 &&
-              job->attempts_this_chunk < kMaxThrottleRetries) {
-            // Honour Retry-After with exponential backoff, then resend the
-            // same chunk (its bytes are wasted — the real cost of being
-            // throttled mid-upload).
-            const double backoff =
-                server_->profile().retry_after_s *
-                static_cast<double>(1 << job->attempts_this_chunk);
-            ++job->attempts_this_chunk;
-            ++job->result.throttle_retries;
-            obs::add(obs_throttle_retries_);
-            obs::observe(obs_backoff_wait_, backoff);
-            if (obs::enabled()) {
-              obs::emit_span("transfer.chunk_put", obs::Clock::kSim,
-                             job->chunk_start, fabric_->simulator()->now(),
-                             {{"offset", std::to_string(job->offset)},
-                              {"status", "429"}});
-            }
-            fabric_->simulator()->schedule_in(
-                backoff, [this, job] { send_next_chunk(job); });
-            return;
-          }
-          fail(job, "append rejected: " + status.error().message);
-          return;
-        }
-        if (obs::enabled()) {
-          obs::emit_span("transfer.chunk_put", obs::Clock::kSim,
-                         job->chunk_start, fabric_->simulator()->now(),
-                         {{"offset", std::to_string(job->offset)},
-                          {"status", "ok"}});
-        }
-        job->attempts_this_chunk = 0;
-        job->digester.add_chunk(digest);
-        job->result.wire_bytes += stats.bytes;
-        job->offset += done_bytes;
-        ++job->next_chunk;
-        ++job->result.chunks;
-        // Chunk ack turnaround before the next request is issued.
-        fabric_->simulator()->schedule_in(
-            server_->profile().per_chunk_rtts * job->result.rtt_s,
-            [this, job] { send_next_chunk(job); });
-      },
-      flow_options);
-  if (!flow.ok()) {
-    fail(job, "chunk flow rejected: " + flow.error().message);
-  }
+  detail::deliver(upload_task(client, file, options), std::move(done),
+                  fabric_->simulator());
 }
 
 }  // namespace droute::transfer

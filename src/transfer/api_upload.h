@@ -4,13 +4,13 @@
 #pragma once
 
 #include <functional>
-#include <memory>
 #include <string>
 
 #include "cloud/oauth.h"
 #include "cloud/provider.h"
 #include "cloud/storage_server.h"
 #include "net/fabric.h"
+#include "sim/task.h"
 #include "transfer/file_spec.h"
 
 namespace droute::obs {
@@ -51,16 +51,18 @@ class ApiUploadEngine {
   net::NodeId server_node() const { return server_node_; }
   cloud::StorageServer* server() const { return server_; }
 
-  /// Starts the upload; `done` fires exactly once (success or failure).
-  /// Failure cases: unroutable client, API/server rejections mid-stream.
+  /// Coroutine form: session init, sequential chunk PUTs (with 429
+  /// backoff), finalize. Failure cases — unroutable client, API/server
+  /// rejections mid-stream — land inside UploadResult; the Result error
+  /// channel carries only escaped exceptions / cancellation.
+  sim::Task<UploadResult> upload_task(net::NodeId client, FileSpec file,
+                                      ApiUploadOptions options = {});
+
+  /// Legacy callback shim over upload_task(); `done` fires exactly once.
   void upload(net::NodeId client, const FileSpec& file, Callback done,
               ApiUploadOptions options = {});
 
  private:
-  struct Job;
-  void send_next_chunk(std::shared_ptr<Job> job);
-  void fail(std::shared_ptr<Job> job, std::string error);
-
   net::Fabric* fabric_;
   cloud::StorageServer* server_;
   net::NodeId server_node_;

@@ -1,9 +1,12 @@
 #include "transfer/detour.h"
 
-#include <memory>
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "net/fabric_await.h"
 #include "obs/recorder.h"
+#include "transfer/task_shim.h"
 #include "util/logging.h"
 
 namespace droute::transfer {
@@ -26,254 +29,282 @@ void emit_detour_span(const DetourResult& result) {
                   {"ok", result.success ? "1" : "0"}});
 }
 
+/// Folds a leg task's join result back into the leg's own result struct:
+/// a leg that unwound exceptionally (or was cancelled) reads as a failed
+/// leg with the Task error as its message.
+template <typename Leg>
+Leg unwrap_leg(const util::Result<Leg>& joined, double now) {
+  if (joined.ok()) return joined.value();
+  Leg failed{};
+  failed.success = false;
+  failed.error = joined.error().message;
+  failed.start_time = now;
+  failed.end_time = now;
+  return failed;
+}
+
 }  // namespace
+
+sim::Task<DetourResult> DetourEngine::transfer_task(net::NodeId client,
+                                                    net::NodeId intermediate,
+                                                    FileSpec file,
+                                                    DetourOptions options) {
+  return options.mode == DetourMode::kStoreAndForward
+             ? store_and_forward_task(client, intermediate, std::move(file),
+                                      options)
+             : pipelined_task(client, intermediate, std::move(file), options);
+}
 
 void DetourEngine::transfer(net::NodeId client, net::NodeId intermediate,
                             const FileSpec& file, Callback done,
                             DetourOptions options) {
-  if (options.mode == DetourMode::kStoreAndForward) {
-    store_and_forward(client, intermediate, file, std::move(done), options);
-  } else {
-    pipelined(client, intermediate, file, std::move(done), options);
-  }
+  detail::deliver(transfer_task(client, intermediate, file, options),
+                  std::move(done), fabric_->simulator());
 }
 
-void DetourEngine::store_and_forward(net::NodeId client,
-                                     net::NodeId intermediate,
-                                     const FileSpec& file, Callback done,
-                                     DetourOptions options) {
-  auto result = std::make_shared<DetourResult>();
-  result->mode = DetourMode::kStoreAndForward;
-  result->start_time = fabric_->simulator()->now();
-  result->payload_bytes = file.bytes;
+sim::Task<DetourResult> DetourEngine::store_and_forward_task(
+    net::NodeId client, net::NodeId intermediate, FileSpec file,
+    DetourOptions options) {
+  sim::Simulator& simulator = *fabric_->simulator();
+  DetourResult result;
+  result.mode = DetourMode::kStoreAndForward;
+  result.start_time = simulator.now();
+  result.payload_bytes = file.bytes;
 
-  rsync_.push(
-      client, intermediate, file,
-      [this, intermediate, file, done, result,
-       options](const RsyncResult& leg1) {
-        result->leg1_s = leg1.duration_s();
-        const double leg1_end = fabric_->simulator()->now();
-        obs::emit_span("transfer.detour_leg1", obs::Clock::kSim,
-                       result->start_time, leg1_end);
-        if (!leg1.success) {
-          result->error = "detour leg 1 (rsync): " + leg1.error;
-          result->end_time = leg1_end;
-          emit_detour_span(*result);
-          done(*result);
-          return;
-        }
-        api_->upload(
-            intermediate, file,
-            [this, done, result, leg1_end](const UploadResult& leg2) {
-              result->leg2_s = leg2.duration_s();
-              result->success = leg2.success;
-              if (!leg2.success) {
-                result->error = "detour leg 2 (API): " + leg2.error;
-              }
-              result->end_time = fabric_->simulator()->now();
-              obs::emit_span("transfer.detour_leg2", obs::Clock::kSim,
-                             leg1_end, result->end_time);
-              emit_detour_span(*result);
-              done(*result);
-            },
-            options.api);
-      },
-      options.rsync);
+  auto leg1_task = rsync_.push_task(client, intermediate, file, options.rsync);
+  const auto leg1_joined = co_await leg1_task;
+  const RsyncResult leg1 = unwrap_leg(leg1_joined, simulator.now());
+  result.leg1_s = leg1.duration_s();
+  const double leg1_end = simulator.now();
+  obs::emit_span("transfer.detour_leg1", obs::Clock::kSim, result.start_time,
+                 leg1_end);
+  if (!leg1.success) {
+    result.error = "detour leg 1 (rsync): " + leg1.error;
+    result.end_time = leg1_end;
+    emit_detour_span(result);
+    co_return result;
+  }
+
+  auto leg2_task = api_->upload_task(intermediate, file, options.api);
+  const auto leg2_joined = co_await leg2_task;
+  const UploadResult leg2 = unwrap_leg(leg2_joined, simulator.now());
+  result.leg2_s = leg2.duration_s();
+  result.success = leg2.success;
+  if (!leg2.success) {
+    result.error = "detour leg 2 (API): " + leg2.error;
+  }
+  result.end_time = simulator.now();
+  obs::emit_span("transfer.detour_leg2", obs::Clock::kSim, leg1_end,
+                 result.end_time);
+  emit_detour_span(result);
+  co_return result;
 }
 
 // ---------------------------------------------------------------------------
 // Pipelined relay: API-sized chunks stream through the DTN. Chunk i+1 crosses
-// the first leg while chunk i crosses the second.
+// the first leg while chunk i crosses the second. Two sibling coroutines
+// share state that lives in the parent coroutine's frame — no shared_ptr
+// job object, no pump closures (the PipelineJob style this file used to
+// have leaked once already; see CHANGES.md PR 1).
 
 namespace {
-struct PipelineJob {
-  net::NodeId client;
-  net::NodeId intermediate;
-  FileSpec file;
-  DetourEngine::Callback done;
-  std::shared_ptr<DetourResult> result;
-  std::vector<std::uint64_t> chunks;
-  double rtt1 = 0.0;   // client <-> intermediate
-  double rtt2 = 0.0;   // intermediate <-> provider
-  std::size_t leg1_next = 0;    // next chunk to send on leg 1
-  std::size_t leg2_next = 0;    // next chunk to upload on leg 2
+
+/// Shared relay state, owned by the parent pipelined_task frame. The legs
+/// hold it by reference; the parent joins both legs before returning, so
+/// the references never dangle.
+struct PipelineShared {
+  net::Fabric* fabric = nullptr;
+  ApiUploadEngine* api = nullptr;
+  const FileSpec* file = nullptr;
+  const std::vector<std::uint64_t>* chunks = nullptr;
+  net::NodeId client = net::kInvalidNode;
+  net::NodeId intermediate = net::kInvalidNode;
+  double rtt2 = 0.0;            // intermediate <-> provider
+  DetourResult* result = nullptr;
   std::size_t arrived = 0;      // chunks fully received at the DTN
-  bool leg2_busy = false;
   bool failed = false;
-  std::uint64_t leg1_offset = 0;
-  std::uint64_t leg2_offset = 0;
+  std::string error;
+  sim::Notify chunk_ready;      // leg 1 arrival -> leg 2 wake-up
   cloud::SessionId session = 0;
   cloud::ChunkDigester digester;
-  // The pump closures live on the job so in-flight callbacks can re-enter
-  // them. They capture the job weakly: the job owns the closures without
-  // the closures owning the job back, so the whole graph frees once the
-  // last in-flight callback drops its reference (no shared_ptr cycle).
-  std::function<void()> pump_leg1;
-  std::function<void()> pump_leg2;
+  // First failure wins and cancels both legs so the parent can report
+  // promptly (self-cancellation of the failing leg is a harmless flag).
+  sim::Task<bool>* leg1 = nullptr;
+  sim::Task<bool>* leg2 = nullptr;
+
+  void note_failure(std::string message) {
+    if (failed) return;
+    failed = true;
+    error = std::move(message);
+    if (leg1 != nullptr) leg1->cancel();
+    if (leg2 != nullptr) leg2->cancel();
+  }
 };
+
+/// Leg 1: relays chunks client -> DTN back-to-back.
+sim::Task<bool> pipeline_leg1(PipelineShared& sh) {
+  for (std::size_t next = 0; next < sh.chunks->size(); ++next) {
+    if (sh.failed) co_return false;
+    net::FlowOptions flow_options;
+    flow_options.charge_slow_start = next == 0;
+    flow_options.label = "relay-leg1";
+    auto hop = net::transfer(*sh.fabric, sh.client, sh.intermediate,
+                             (*sh.chunks)[next], flow_options);
+    const auto stats = co_await hop;
+    if (!stats.ok()) {
+      sh.note_failure("pipelined leg 1 rejected: " + stats.error().message);
+      co_return false;
+    }
+    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
+      sh.note_failure("pipelined leg 1 flow failed");
+      co_return false;
+    }
+    ++sh.arrived;
+    sh.chunk_ready.notify_all();
+  }
+  sh.result->leg1_s =
+      sh.fabric->simulator()->now() - sh.result->start_time;
+  obs::emit_span("transfer.detour_leg1", obs::Clock::kSim,
+                 sh.result->start_time, sh.fabric->simulator()->now());
+  co_return true;
+}
+
+/// Leg 2: drains arrived chunks DTN -> provider sequentially, finalizes.
+sim::Task<bool> pipeline_leg2(PipelineShared& sh) {
+  sim::Simulator& simulator = *sh.fabric->simulator();
+  const cloud::ApiProfile& profile = sh.api->server()->profile();
+  std::uint64_t offset = 0;
+  for (std::size_t next = 0; next < sh.chunks->size();) {
+    if (sh.failed) co_return false;
+    if (next >= sh.arrived) {
+      auto wake = sh.chunk_ready.wait();  // wait for leg 1
+      if (!co_await wake) co_return false;
+      continue;  // re-check: a notify is a hint
+    }
+    const std::uint64_t chunk = (*sh.chunks)[next];
+    net::FlowOptions flow_options;
+    flow_options.charge_slow_start = next == 0;
+    flow_options.label = "relay-leg2";
+    const std::uint64_t wire = chunk + profile.per_chunk_header_bytes;
+    auto hop = net::transfer(*sh.fabric, sh.intermediate,
+                             sh.api->server_node(), wire, flow_options);
+    const auto stats = co_await hop;
+    if (!stats.ok()) {
+      sh.note_failure("pipelined leg 2 rejected: " + stats.error().message);
+      co_return false;
+    }
+    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
+      sh.note_failure("pipelined leg 2 flow failed");
+      co_return false;
+    }
+    const auto digest = sh.file->chunk_digest(offset, chunk);
+    const auto append =
+        sh.api->server()->append_chunk(sh.session, offset, chunk, digest);
+    if (!append.ok()) {
+      sh.note_failure("pipelined append: " + append.error().message);
+      co_return false;
+    }
+    sh.digester.add_chunk(digest);
+    offset += chunk;
+    ++next;
+    auto turnaround =
+        sim::delay(simulator, profile.per_chunk_rtts * sh.rtt2);
+    if (!co_await turnaround) co_return false;
+  }
+  if (sh.failed) co_return false;
+
+  // Everything uploaded: finalize.
+  auto commit = sim::delay(simulator, profile.finalize_rtts * sh.rtt2);
+  if (!co_await commit) co_return false;
+  auto object = sh.api->server()->finalize(sh.session, sh.digester.finish());
+  sh.session = 0;  // finalize consumed it either way
+  if (!object.ok()) {
+    sh.note_failure("pipelined finalize: " + object.error().message);
+    co_return false;
+  }
+  co_return true;
+}
+
 }  // namespace
 
-void DetourEngine::pipelined(net::NodeId client, net::NodeId intermediate,
-                             const FileSpec& file, Callback done,
-                             DetourOptions options) {
+sim::Task<DetourResult> DetourEngine::pipelined_task(net::NodeId client,
+                                                     net::NodeId intermediate,
+                                                     FileSpec file,
+                                                     DetourOptions options) {
   // Pipelined relay authenticates once up front; per-chunk OAuth costs are
   // identical to the direct path and folded into the session handshake.
   (void)options;
-  auto job = std::make_shared<PipelineJob>();
-  job->client = client;
-  job->intermediate = intermediate;
-  job->file = file;
-  job->done = std::move(done);
-  job->result = std::make_shared<DetourResult>();
-  job->result->mode = DetourMode::kPipelined;
-  job->result->start_time = fabric_->simulator()->now();
-  job->result->payload_bytes = file.bytes;
+  sim::Simulator& simulator = *fabric_->simulator();
+  DetourResult result;
+  result.mode = DetourMode::kPipelined;
+  result.start_time = simulator.now();
+  result.payload_bytes = file.bytes;
 
-  // Captures only `this` — never the job — so storing it inside the job's
-  // pump closures cannot create an ownership cycle.
-  auto fail = [this](const std::shared_ptr<PipelineJob>& self,
-                     const std::string& error) {
-    if (self->failed) return;
-    self->failed = true;
-    if (self->session != 0) api_->server()->abandon(self->session);
-    self->result->error = error;
-    self->result->end_time = fabric_->simulator()->now();
-    emit_detour_span(*self->result);
-    self->done(*self->result);
+  PipelineShared sh;
+  sh.fabric = fabric_;
+  sh.api = api_;
+  sh.file = &file;
+  sh.client = client;
+  sh.intermediate = intermediate;
+  sh.result = &result;
+
+  auto fail = [&](std::string error) -> DetourResult {
+    if (sh.session != 0) {
+      api_->server()->abandon(sh.session);
+      sh.session = 0;
+    }
+    result.error = std::move(error);
+    result.end_time = simulator.now();
+    emit_detour_span(result);
+    return result;
   };
 
   auto rtt1 = fabric_->rtt_s(client, intermediate);
   auto rtt2 = fabric_->rtt_s(intermediate, api_->server_node());
   if (!rtt1.ok() || !rtt2.ok()) {
-    fail(job, "pipelined detour: unroutable leg");
-    return;
+    co_return fail("pipelined detour: unroutable leg");
   }
-  job->rtt1 = rtt1.value();
-  job->rtt2 = rtt2.value();
+  sh.rtt2 = rtt2.value();
 
-  auto chunks = cloud::chunk_sizes(api_->server()->profile(), file.bytes);
-  if (!chunks.ok()) {
-    fail(job, chunks.error().message);
-    return;
+  auto chunk_plan = cloud::chunk_sizes(api_->server()->profile(), file.bytes);
+  if (!chunk_plan.ok()) {
+    co_return fail(chunk_plan.error().message);
   }
-  job->chunks = std::move(chunks).value();
+  const std::vector<std::uint64_t> chunks = std::move(chunk_plan).value();
+  sh.chunks = &chunks;
 
-  auto session = api_->server()->create_session(file.name, file.bytes, file.seed);
-  if (!session.ok()) {
-    fail(job, session.error().message);
-    return;
+  auto session_open =
+      api_->server()->create_session(file.name, file.bytes, file.seed);
+  if (!session_open.ok()) {
+    co_return fail(session_open.error().message);
   }
-  job->session = session.value();
-
-  const std::weak_ptr<PipelineJob> weak = job;
-
-  // Leg-2 uploader: drains arrived chunks sequentially.
-  job->pump_leg2 = [this, fail, weak]() {
-    auto self = weak.lock();
-    if (!self || self->failed || self->leg2_busy) return;
-    if (self->leg2_next == self->chunks.size()) {
-      // Everything uploaded: finalize.
-      self->leg2_busy = true;
-      fabric_->simulator()->schedule_in(
-          api_->server()->profile().finalize_rtts * self->rtt2,
-          [this, self, fail] {
-            auto object =
-                api_->server()->finalize(self->session,
-                                         self->digester.finish());
-            if (!object.ok()) {
-              self->session = 0;
-              fail(self, "pipelined finalize: " + object.error().message);
-              return;
-            }
-            self->result->success = true;
-            self->result->end_time = fabric_->simulator()->now();
-            emit_detour_span(*self->result);
-            self->done(*self->result);
-          });
-      return;
-    }
-    if (self->leg2_next >= self->arrived) return;  // wait for leg 1
-    self->leg2_busy = true;
-    const std::uint64_t chunk = self->chunks[self->leg2_next];
-    net::FlowOptions flow_options;
-    flow_options.charge_slow_start = self->leg2_next == 0;
-    flow_options.label = "relay-leg2";
-    const std::uint64_t wire =
-        chunk + api_->server()->profile().per_chunk_header_bytes;
-    auto flow = fabric_->start_flow(
-        self->intermediate, api_->server_node(), wire,
-        [this, self, fail](const net::FlowStats& stats) {
-          if (stats.outcome != net::FlowOutcome::kCompleted) {
-            fail(self, "pipelined leg 2 flow failed");
-            return;
-          }
-          const std::uint64_t done_bytes = self->chunks[self->leg2_next];
-          const auto digest =
-              self->file.chunk_digest(self->leg2_offset, done_bytes);
-          const auto status = api_->server()->append_chunk(
-              self->session, self->leg2_offset, done_bytes, digest);
-          if (!status.ok()) {
-            fail(self, "pipelined append: " + status.error().message);
-            return;
-          }
-          self->digester.add_chunk(digest);
-          self->leg2_offset += done_bytes;
-          ++self->leg2_next;
-          fabric_->simulator()->schedule_in(
-              api_->server()->profile().per_chunk_rtts * self->rtt2,
-              [self] {
-                self->leg2_busy = false;
-                self->pump_leg2();
-              });
-        },
-        flow_options);
-    if (!flow.ok()) {
-      fail(self, "pipelined leg 2 rejected: " + flow.error().message);
-    }
-  };
-
-  // Leg-1 sender: relays chunks to the DTN back-to-back.
-  job->pump_leg1 = [this, fail, weak]() {
-    auto self = weak.lock();
-    if (!self || self->failed || self->leg1_next == self->chunks.size()) {
-      return;
-    }
-    const std::uint64_t chunk = self->chunks[self->leg1_next];
-    net::FlowOptions flow_options;
-    flow_options.charge_slow_start = self->leg1_next == 0;
-    flow_options.label = "relay-leg1";
-    auto flow = fabric_->start_flow(
-        self->client, self->intermediate, chunk,
-        [this, self, fail](const net::FlowStats& stats) {
-          if (stats.outcome != net::FlowOutcome::kCompleted) {
-            fail(self, "pipelined leg 1 flow failed");
-            return;
-          }
-          self->leg1_offset += self->chunks[self->leg1_next];
-          ++self->leg1_next;
-          ++self->arrived;
-          if (self->result->leg1_s == 0.0 &&
-              self->leg1_next == self->chunks.size()) {
-            self->result->leg1_s =
-                fabric_->simulator()->now() - self->result->start_time;
-            obs::emit_span("transfer.detour_leg1", obs::Clock::kSim,
-                           self->result->start_time,
-                           fabric_->simulator()->now());
-          }
-          self->pump_leg1();
-          self->pump_leg2();
-        },
-        flow_options);
-    if (!flow.ok()) {
-      fail(self, "pipelined leg 1 rejected: " + flow.error().message);
-    }
-  };
+  sh.session = session_open.value();
 
   // Relay daemon handshake on both legs, then start pumping.
-  fabric_->simulator()->schedule_in(
-      2.0 * job->rtt1 +
-          api_->server()->profile().session_init_rtts * job->rtt2,
-      [job] { job->pump_leg1(); });
+  auto handshake = sim::delay(
+      simulator, 2.0 * rtt1.value() +
+                     api_->server()->profile().session_init_rtts * sh.rtt2);
+  if (!co_await handshake) {
+    co_return fail("pipelined detour cancelled during handshake");
+  }
+
+  auto leg1 = pipeline_leg1(sh);
+  auto leg2 = pipeline_leg2(sh);
+  sh.leg1 = &leg1;
+  sh.leg2 = &leg2;
+  const auto leg1_ok = co_await leg1;
+  const auto leg2_ok = co_await leg2;
+  sh.leg1 = nullptr;
+  sh.leg2 = nullptr;
+
+  if (sh.failed || !leg1_ok.ok() || !leg1_ok.value() || !leg2_ok.ok() ||
+      !leg2_ok.value()) {
+    co_return fail(sh.failed ? sh.error : "pipelined detour leg cancelled");
+  }
+  result.success = true;
+  result.end_time = simulator.now();
+  emit_detour_span(result);
+  co_return result;
 }
 
 }  // namespace droute::transfer

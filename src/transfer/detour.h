@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "sim/task.h"
 #include "transfer/api_upload.h"
 #include "transfer/rsync_engine.h"
 
@@ -48,16 +49,28 @@ class DetourEngine {
   DetourEngine(net::Fabric* fabric, ApiUploadEngine* api)
       : fabric_(fabric), api_(api), rsync_(fabric) {}
 
-  /// Moves `file` from `client` to the provider via `intermediate`.
+  /// Coroutine form: moves `file` from `client` to the provider via
+  /// `intermediate`. Domain failures land inside DetourResult — including
+  /// a leg that unwound exceptionally (the leg's Task error is folded into
+  /// the failed result rather than terminating, see tests).
+  sim::Task<DetourResult> transfer_task(net::NodeId client,
+                                        net::NodeId intermediate,
+                                        FileSpec file,
+                                        DetourOptions options = {});
+
+  /// Legacy callback shim over transfer_task(); `done` fires exactly once.
   void transfer(net::NodeId client, net::NodeId intermediate,
                 const FileSpec& file, Callback done, DetourOptions options = {});
 
  private:
-  void store_and_forward(net::NodeId client, net::NodeId intermediate,
-                         const FileSpec& file, Callback done,
-                         DetourOptions options);
-  void pipelined(net::NodeId client, net::NodeId intermediate,
-                 const FileSpec& file, Callback done, DetourOptions options);
+  sim::Task<DetourResult> store_and_forward_task(net::NodeId client,
+                                                 net::NodeId intermediate,
+                                                 FileSpec file,
+                                                 DetourOptions options);
+  sim::Task<DetourResult> pipelined_task(net::NodeId client,
+                                         net::NodeId intermediate,
+                                         FileSpec file,
+                                         DetourOptions options);
 
   net::Fabric* fabric_;
   ApiUploadEngine* api_;

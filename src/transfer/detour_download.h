@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "sim/task.h"
 #include "transfer/api_download.h"
 #include "transfer/rsync_engine.h"
 
@@ -31,7 +32,12 @@ class DetourDownloadEngine {
   DetourDownloadEngine(net::Fabric* fabric, ApiDownloadEngine* api)
       : fabric_(fabric), api_(api), rsync_(fabric) {}
 
-  /// Fetches `name` to `client` via `intermediate`.
+  /// Coroutine form: fetches `name` to `client` via `intermediate`.
+  sim::Task<DownloadDetourResult> download_task(net::NodeId client,
+                                                net::NodeId intermediate,
+                                                std::string name);
+
+  /// Legacy callback shim over download_task(); `done` fires exactly once.
   void download(net::NodeId client, net::NodeId intermediate,
                 const std::string& name, Callback done);
 

@@ -1,78 +1,102 @@
 #include "transfer/parallel.h"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
+#include <vector>
 
 #include "check/contract.h"
+#include "net/fabric_await.h"
+#include "sim/task.h"
+#include "transfer/task_shim.h"
 #include "util/result.h"
 
 namespace droute::transfer {
 
 namespace {
-struct ParallelJob {
-  ParallelPushResult result;
-  ParallelPushEngine::Callback done;
-  int remaining = 0;
-  bool failed = false;
-  bool reported = false;  // `done` fires exactly once
-};
+
+/// One stripe: a single flow carrying a contiguous byte range. Yields the
+/// flow's stats (any outcome) or an error when the fabric refused to start
+/// the flow at all.
+sim::Task<net::FlowStats> stripe_task(net::Fabric& fabric, net::NodeId src,
+                                      net::NodeId dst, std::uint64_t bytes) {
+  net::FlowOptions options;
+  options.charge_slow_start = true;  // every stream ramps independently
+  options.label = "parallel-stripe";
+  auto flow = net::transfer(fabric, src, dst, bytes, options);
+  const auto stats = co_await flow;
+  if (!stats.ok()) co_return stats.error();
+  co_return stats.value();
+}
+
 }  // namespace
 
-void ParallelPushEngine::push(net::NodeId src, net::NodeId dst,
-                              const FileSpec& file, int streams,
-                              Callback done) {
+sim::Task<ParallelPushResult> ParallelPushEngine::push_task(net::NodeId src,
+                                                            net::NodeId dst,
+                                                            FileSpec file,
+                                                            int streams) {
   DROUTE_CHECK(streams >= 1, "need at least one stream");
-  auto job = std::make_shared<ParallelJob>();
-  job->done = std::move(done);
-  job->result.start_time = fabric_->simulator()->now();
-  job->result.payload_bytes = file.bytes;
-  job->result.streams = streams;
+  sim::Simulator& simulator = *fabric_->simulator();
+  ParallelPushResult result;
+  result.start_time = simulator.now();
+  result.payload_bytes = file.bytes;
+  result.streams = streams;
 
   const std::uint64_t effective_streams =
       std::min<std::uint64_t>(static_cast<std::uint64_t>(streams),
                               std::max<std::uint64_t>(1, file.bytes));
-  job->remaining = static_cast<int>(effective_streams);
 
   const std::uint64_t stripe = file.bytes / effective_streams;
+  std::vector<sim::Task<net::FlowStats>> stripes;
+  stripes.reserve(static_cast<std::size_t>(effective_streams));
   std::uint64_t offset = 0;
   for (std::uint64_t i = 0; i < effective_streams; ++i) {
     const std::uint64_t length =
         i + 1 == effective_streams ? file.bytes - offset : stripe;
-    net::FlowOptions options;
-    options.charge_slow_start = true;  // every stream ramps independently
-    options.label = "parallel-stripe";
-    auto flow = fabric_->start_flow(
-        src, dst, std::max<std::uint64_t>(1, length),
-        [this, job](const net::FlowStats& stats) {
-          if (stats.outcome != net::FlowOutcome::kCompleted) {
-            job->failed = true;
-          }
-          job->result.slowest_stream_s =
-              std::max(job->result.slowest_stream_s, stats.duration_s());
-          if (--job->remaining == 0 && !job->reported) {
-            job->reported = true;
-            job->result.success = !job->failed;
-            if (job->failed) job->result.error = "stripe transfer failed";
-            job->result.end_time = fabric_->simulator()->now();
-            job->done(job->result);
-          }
-        },
-        options);
-    if (!flow.ok()) {
-      // Earlier stripes may already be in flight; report the failure once
-      // and let their completions no-op against `reported`.
-      job->failed = true;
-      if (!job->reported) {
-        job->reported = true;
-        job->result.success = false;
-        job->result.error = "stripe rejected: " + flow.error().message;
-        job->result.end_time = fabric_->simulator()->now();
-        job->done(job->result);
-      }
-      return;
+    stripes.push_back(stripe_task(*fabric_, src, dst,
+                                  std::max<std::uint64_t>(1, length)));
+    if (stripes.back().done() && !stripes.back().result().ok()) {
+      // Stripe rejected synchronously. Earlier stripes may already be in
+      // flight; report the failure once and let them finish detached (the
+      // legacy behaviour — their frames self-release as the flows drain).
+      result.success = false;
+      result.error =
+          "stripe rejected: " + stripes.back().result().error().message;
+      result.end_time = simulator.now();
+      co_return result;
     }
     offset += length;
   }
+
+  auto joined = sim::all_of(std::move(stripes));
+  const auto outcomes = co_await joined;
+  bool failed = false;
+  if (!outcomes.ok()) {
+    failed = true;  // the join itself was cancelled
+  } else {
+    for (const auto& stats : outcomes.value()) {
+      if (!stats.ok() ||
+          stats.value().outcome != net::FlowOutcome::kCompleted) {
+        failed = true;
+      }
+      if (stats.ok()) {
+        // Completion is gated by the last stripe; failed stripes still ran
+        // for their recorded duration.
+        result.slowest_stream_s =
+            std::max(result.slowest_stream_s, stats.value().duration_s());
+      }
+    }
+  }
+  result.success = !failed;
+  if (failed) result.error = "stripe transfer failed";
+  result.end_time = simulator.now();
+  co_return result;
+}
+
+void ParallelPushEngine::push(net::NodeId src, net::NodeId dst,
+                              const FileSpec& file, int streams,
+                              Callback done) {
+  detail::deliver(push_task(src, dst, file, streams), std::move(done),
+                  fabric_->simulator());
 }
 
 }  // namespace droute::transfer

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "net/fabric.h"
+#include "sim/task.h"
 #include "transfer/file_spec.h"
 
 namespace droute::transfer {
@@ -37,8 +38,13 @@ class ParallelPushEngine {
 
   explicit ParallelPushEngine(net::Fabric* fabric) : fabric_(fabric) {}
 
-  /// Pushes `file` from src to dst over `streams` concurrent flows, each
-  /// carrying a contiguous stripe. streams must be >= 1.
+  /// Coroutine form: pushes `file` from src to dst over `streams`
+  /// concurrent flows (one eager stripe task each, joined via
+  /// sim::all_of), each carrying a contiguous stripe. streams must be >= 1.
+  sim::Task<ParallelPushResult> push_task(net::NodeId src, net::NodeId dst,
+                                          FileSpec file, int streams);
+
+  /// Legacy callback shim over push_task(); `done` fires exactly once.
   void push(net::NodeId src, net::NodeId dst, const FileSpec& file,
             int streams, Callback done);
 

@@ -1,10 +1,12 @@
 #include "transfer/rsync_engine.h"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
 
 #include "check/contract.h"
+#include "net/fabric_await.h"
 #include "rsyncx/signature.h"
+#include "transfer/task_shim.h"
 
 namespace droute::transfer {
 
@@ -50,25 +52,29 @@ SyntheticPlan synthesize(std::uint64_t file_bytes, double overlap,
   return plan;
 }
 
+RsyncResult fail_result(RsyncResult result, std::string error, double now) {
+  result.success = false;
+  result.error = std::move(error);
+  result.end_time = now;
+  return result;
+}
+
 }  // namespace
 
-void RsyncEngine::push(net::NodeId src, net::NodeId dst, const FileSpec& file,
-                       Callback done, RsyncOptions options) {
-  auto result = std::make_shared<RsyncResult>();
-  result->start_time = fabric_->simulator()->now();
-  result->payload_bytes = file.bytes;
-
-  auto finish_error = [this, result, done](std::string error) {
-    result->success = false;
-    result->error = std::move(error);
-    result->end_time = fabric_->simulator()->now();
-    done(*result);
-  };
+sim::Task<RsyncResult> RsyncEngine::push_task(net::NodeId src, net::NodeId dst,
+                                              FileSpec file,
+                                              RsyncOptions options) {
+  sim::Simulator& simulator = *fabric_->simulator();
+  RsyncResult result;
+  result.start_time = simulator.now();
+  result.payload_bytes = file.bytes;
 
   auto rtt = fabric_->rtt_s(src, dst);
   if (!rtt.ok()) {
-    finish_error("no route to intermediate node: " + rtt.error().message);
-    return;
+    co_return fail_result(std::move(result),
+                          "no route to intermediate node: " +
+                              rtt.error().message,
+                          simulator.now());
   }
   const double rtt_s = rtt.value();
 
@@ -76,9 +82,9 @@ void RsyncEngine::push(net::NodeId src, net::NodeId dst, const FileSpec& file,
                "basis_overlap must be in [0,1]");
   const SyntheticPlan plan =
       synthesize(file.bytes, options.basis_overlap, options.cpu);
-  result->forward_wire_bytes = plan.forward_bytes;
-  result->reverse_wire_bytes = plan.reverse_bytes;
-  result->cpu_s = plan.sender_cpu_s + plan.receiver_cpu_s;
+  result.forward_wire_bytes = plan.forward_bytes;
+  result.reverse_wire_bytes = plan.reverse_bytes;
+  result.cpu_s = plan.sender_cpu_s + plan.receiver_cpu_s;
 
   // Handshake (greeting + option negotiation), then the receiver computes
   // and ships the signature, then the delta flows forward, then a trailer
@@ -89,49 +95,60 @@ void RsyncEngine::push(net::NodeId src, net::NodeId dst, const FileSpec& file,
           : 0.0;
   const double patch_cpu = plan.receiver_cpu_s - signature_cpu;
 
-  fabric_->simulator()->schedule_in(2.0 * rtt_s + signature_cpu, [this, src,
-                                                                  dst, plan,
-                                                                  result, done,
-                                                                  rtt_s,
-                                                                  patch_cpu,
-                                                                  finish_error] {
-    net::FlowOptions sig_options;
-    sig_options.label = "rsync-signature";
-    auto sig_flow = fabric_->start_flow(
-        dst, src, std::max<std::uint64_t>(1, plan.reverse_bytes),
-        [this, src, dst, plan, result, done, rtt_s, patch_cpu,
-         finish_error](const net::FlowStats& sig_stats) {
-          if (sig_stats.outcome != net::FlowOutcome::kCompleted) {
-            finish_error("signature transfer failed");
-            return;
-          }
-          net::FlowOptions delta_options;
-          delta_options.label = "rsync-delta";
-          auto delta_flow = fabric_->start_flow(
-              src, dst, std::max<std::uint64_t>(1, plan.forward_bytes),
-              [this, result, done, rtt_s, patch_cpu,
-               finish_error](const net::FlowStats& delta_stats) {
-                if (delta_stats.outcome != net::FlowOutcome::kCompleted) {
-                  finish_error("delta transfer failed");
-                  return;
-                }
-                fabric_->simulator()->schedule_in(
-                    rtt_s + patch_cpu, [this, result, done] {
-                      result->success = true;
-                      result->end_time = fabric_->simulator()->now();
-                      done(*result);
-                    });
-              },
-              delta_options);
-          if (!delta_flow.ok()) {
-            finish_error("delta flow rejected: " + delta_flow.error().message);
-          }
-        },
-        sig_options);
-    if (!sig_flow.ok()) {
-      finish_error("signature flow rejected: " + sig_flow.error().message);
-    }
-  });
+  auto handshake = sim::delay(simulator, 2.0 * rtt_s + signature_cpu);
+  if (!co_await handshake) {
+    co_return fail_result(std::move(result), "rsync cancelled mid-handshake",
+                          simulator.now());
+  }
+
+  net::FlowOptions sig_options;
+  sig_options.label = "rsync-signature";
+  auto sig_leg = net::transfer(*fabric_, dst, src,
+                               std::max<std::uint64_t>(1, plan.reverse_bytes),
+                               sig_options);
+  const auto sig_stats = co_await sig_leg;
+  if (!sig_stats.ok()) {
+    co_return fail_result(std::move(result),
+                          "signature flow rejected: " +
+                              sig_stats.error().message,
+                          simulator.now());
+  }
+  if (sig_stats.value().outcome != net::FlowOutcome::kCompleted) {
+    co_return fail_result(std::move(result), "signature transfer failed",
+                          simulator.now());
+  }
+
+  net::FlowOptions delta_options;
+  delta_options.label = "rsync-delta";
+  auto delta_leg = net::transfer(*fabric_, src, dst,
+                                 std::max<std::uint64_t>(1, plan.forward_bytes),
+                                 delta_options);
+  const auto delta_stats = co_await delta_leg;
+  if (!delta_stats.ok()) {
+    co_return fail_result(std::move(result),
+                          "delta flow rejected: " +
+                              delta_stats.error().message,
+                          simulator.now());
+  }
+  if (delta_stats.value().outcome != net::FlowOutcome::kCompleted) {
+    co_return fail_result(std::move(result), "delta transfer failed",
+                          simulator.now());
+  }
+
+  auto trailer = sim::delay(simulator, rtt_s + patch_cpu);
+  if (!co_await trailer) {
+    co_return fail_result(std::move(result), "rsync cancelled mid-trailer",
+                          simulator.now());
+  }
+  result.success = true;
+  result.end_time = simulator.now();
+  co_return result;
+}
+
+void RsyncEngine::push(net::NodeId src, net::NodeId dst, const FileSpec& file,
+                       Callback done, RsyncOptions options) {
+  detail::deliver(push_task(src, dst, file, options), std::move(done),
+                  fabric_->simulator());
 }
 
 }  // namespace droute::transfer

@@ -15,6 +15,7 @@
 
 #include "net/fabric.h"
 #include "rsyncx/session.h"
+#include "sim/task.h"
 #include "transfer/file_spec.h"
 
 namespace droute::transfer {
@@ -47,8 +48,14 @@ class RsyncEngine {
 
   explicit RsyncEngine(net::Fabric* fabric) : fabric_(fabric) {}
 
-  /// Pushes `file` from `src` to `dst` (rsync "push" mode, as the paper's
-  /// user machine pushes to the intermediate node).
+  /// Coroutine form: pushes `file` from `src` to `dst` (rsync "push" mode,
+  /// as the paper's user machine pushes to the intermediate node). Domain
+  /// failures land inside RsyncResult; the Result error channel carries
+  /// only escaped exceptions / cancellation.
+  sim::Task<RsyncResult> push_task(net::NodeId src, net::NodeId dst,
+                                   FileSpec file, RsyncOptions options = {});
+
+  /// Legacy callback shim over push_task(); `done` fires exactly once.
   void push(net::NodeId src, net::NodeId dst, const FileSpec& file,
             Callback done, RsyncOptions options = {});
 

@@ -1,0 +1,35 @@
+// Bridges Task-returning engine coroutines onto the legacy callback APIs.
+//
+// Engine coroutines report domain failures inside their result structs
+// (`success = false` plus `error`); the Task's util::Result error channel
+// is reserved for non-domain outcomes — an uncaught exception in the body
+// or a cancelled task. The shim folds that channel back into the struct so
+// legacy callers keep observing exactly one `done(result)` with
+// `{success, error}` semantics, never a terminate.
+#pragma once
+
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace droute::transfer::detail {
+
+template <typename R, typename Callback>
+void deliver(sim::Task<R> task, Callback done, sim::Simulator* simulator) {
+  task.on_done(
+      [done = std::move(done), simulator](const util::Result<R>& result) {
+        if (result.ok()) {
+          done(result.value());
+          return;
+        }
+        R failed{};
+        failed.success = false;
+        failed.error = result.error().message;
+        failed.start_time = simulator->now();
+        failed.end_time = simulator->now();
+        done(failed);
+      });
+}
+
+}  // namespace droute::transfer::detail

@@ -1,20 +1,24 @@
 // Concurrency stress for util::ThreadPool, util::logging, the
-// check::contract globals and the obs recorder. These tests are value-light
-// on purpose: their job is to give TSan (the `tsan` preset) enough real
-// contention to flag any data race in the shared state. They still assert
-// the visible results so they earn their keep in uninstrumented runs too.
+// check::contract globals, the obs recorder, and the sim::Task coroutine
+// layer. These tests are value-light on purpose: their job is to give TSan
+// (the `tsan` preset) enough real contention to flag any data race in the
+// shared state. They still assert the visible results so they earn their
+// keep in uninstrumented runs too.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstddef>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "check/contract.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -213,3 +217,81 @@ TEST(RecorderStress, InstallUninstallRacesWithOneShotCounts) {
 
 }  // namespace
 }  // namespace droute::util
+
+namespace droute::sim {
+namespace {
+
+Task<int> stress_sleeper(Simulator& simulator, double dt, int value) {
+  auto nap = delay(simulator, dt);
+  if (!co_await nap) {
+    co_return util::Error::make("cancelled", kErrCancelled);
+  }
+  co_return value;
+}
+
+/// A binary spawn tree: leaves sleep concurrently, inner nodes join their
+/// two children via all_of and sum. tree(3, 1) yields 8+...+15 = 92.
+Task<int> stress_tree(Simulator& simulator, int depth, int value) {
+  if (depth == 0) {
+    auto leaf = stress_sleeper(simulator, 0.5, value);
+    co_return co_await leaf;
+  }
+  std::vector<Task<int>> children;
+  children.push_back(stress_tree(simulator, depth - 1, value * 2));
+  children.push_back(stress_tree(simulator, depth - 1, value * 2 + 1));
+  auto joined = all_of(std::move(children));
+  const auto results = co_await joined;
+  if (!results.ok()) co_return util::Error{results.error()};
+  int sum = 0;
+  for (const auto& result : results.value()) {
+    if (!result.ok()) co_return util::Error{result.error()};
+    sum += result.value();
+  }
+  co_return sum;
+}
+
+TEST(TaskStress, PerThreadSimulatorsRunTaskTreesConcurrently) {
+  // Tasks are single-simulator-affine by design, so the concurrency
+  // contract is "one simulator per thread, zero shared state". Hammering
+  // spawn/join/cancel/timeout trees on many threads at once gives ASan and
+  // TSan real coverage of the frame lifecycle — a hidden global or a
+  // use-after-destroy in the Task machinery shows up here.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 30;
+  std::atomic<int> good{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&good] {
+      for (int round = 0; round < kRounds; ++round) {
+        Simulator simulator;
+        auto deep = stress_tree(simulator, 3, 1);
+        auto guarded = with_timeout(
+            simulator, stress_sleeper(simulator, 100.0, 5), 1.0);
+        std::vector<Task<int>> racers;
+        racers.push_back(stress_sleeper(simulator, 3.0, 30));
+        racers.push_back(stress_sleeper(simulator, 2.0, 20));
+        auto race = any_of(std::move(racers));
+        auto doomed = stress_sleeper(simulator, 50.0, 7);
+        simulator.run_until(0.25);
+        doomed.cancel();
+        simulator.run();
+        const bool round_ok =
+            deep.done() && deep.result().ok() && deep.result().value() == 92 &&
+            guarded.done() && !guarded.result().ok() &&
+            guarded.result().error().code == kErrTimeout && race.done() &&
+            race.result().ok() && race.result().value().index == 1 &&
+            race.result().value().result.value() == 20 && doomed.done() &&
+            !doomed.result().ok() &&
+            doomed.result().error().code == kErrCancelled &&
+            simulator.pending() == 0;
+        if (round_ok) good.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(good.load(), kThreads * kRounds);
+}
+
+}  // namespace
+}  // namespace droute::sim

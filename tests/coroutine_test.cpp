@@ -1,11 +1,18 @@
-// C++20 coroutine layer tests: sim::Process + net::transfer awaitables.
+// C++20 coroutine layer tests: sim::Task<T> (values, errors, cancellation,
+// combinators), sim::Process compatibility, and the net::transfer awaitable.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/fabric_await.h"
 #include "scenario/north_america.h"
 #include "sim/process.h"
+#include "sim/task.h"
+#include "transfer/detour.h"
+#include "transfer/rsync_engine.h"
 #include "util/units.h"
 
 namespace droute::sim {
@@ -79,6 +86,228 @@ TEST(Process, DelayUntilAbsoluteTime) {
   EXPECT_DOUBLE_EQ(fired_at, 7.5);
 }
 
+// ---------------------------------------------------------------------------
+// sim::Task<T>: values, exceptions, joins, cancellation.
+
+Task<int> answer_after(Simulator& simulator, double dt, int value) {
+  co_await delay(simulator, dt);
+  co_return value;
+}
+
+/// Honors cancellation: a cancelled sleep folds into a kErrCancelled error.
+Task<int> patient(Simulator& simulator, double dt, int value) {
+  auto nap = delay(simulator, dt);
+  if (!co_await nap) {
+    co_return util::Error::make("patient cancelled", kErrCancelled);
+  }
+  co_return value;
+}
+
+Task<int> immediate(int value) { co_return value; }
+
+Task<int> throwing(Simulator& simulator) {
+  co_await delay(simulator, 1.0);
+  throw std::runtime_error("boom");
+  co_return 0;  // unreachable: a value coroutine must not fall off the end
+}
+
+/// Awaits the child and forwards its whole Result (value or error).
+Task<int> relay(Simulator& simulator) {
+  auto child = patient(simulator, 50.0, 9);
+  co_return co_await child;
+}
+
+/// Swallows the cancel signal at the sleep, then bails via the probe.
+Task<int> stubborn(Simulator& simulator) {
+  auto nap = delay(simulator, 5.0);
+  co_await nap;
+  if (co_await cancellation_requested()) {
+    co_return util::Error::make("late bail", kErrCancelled);
+  }
+  co_return 1;
+}
+
+TEST(Task, ReturnsValueThroughJoin) {
+  Simulator simulator;
+  auto task = answer_after(simulator, 2.0, 42);
+  EXPECT_FALSE(task.done());
+  simulator.run();
+  ASSERT_TRUE(task.done());
+  ASSERT_TRUE(task.result().ok());
+  EXPECT_EQ(task.result().value(), 42);
+}
+
+TEST(Task, EagerBodyCompletesWithoutEvents) {
+  Simulator simulator;
+  auto task = immediate(11);
+  ASSERT_TRUE(task.done());
+  EXPECT_EQ(task.result().value(), 11);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Task, CoAwaitJoinPropagatesValue) {
+  Simulator simulator;
+  int got = 0;
+  auto parent = [](Simulator& s, int& out) -> Task<void> {
+    auto child = answer_after(s, 1.0, 7);
+    auto joined = co_await child;
+    if (joined.ok()) out = joined.value();
+  }(simulator, got);
+  simulator.run();
+  EXPECT_TRUE(parent.done());
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Task, ExceptionBecomesResultError) {
+  Simulator simulator;
+  auto task = throwing(simulator);
+  simulator.run();
+  ASSERT_TRUE(task.done());
+  ASSERT_FALSE(task.result().ok());
+  EXPECT_NE(task.result().error().message.find("boom"), std::string::npos);
+}
+
+TEST(Task, ResultBeforeCompletionIsContractViolation) {
+  Simulator simulator;
+  auto task = patient(simulator, 10.0, 1);
+  EXPECT_THROW(task.result(), std::logic_error);
+  task.cancel();  // unwind the frame before the simulator goes away
+  ASSERT_TRUE(task.done());
+}
+
+TEST(Task, CancelMidDelayCancelsThePendingEvent) {
+  Simulator simulator;
+  auto task = patient(simulator, 100.0, 1);
+  EXPECT_EQ(simulator.pending(), 1u);
+  task.cancel();
+  ASSERT_TRUE(task.done());
+  ASSERT_FALSE(task.result().ok());
+  EXPECT_EQ(task.result().error().code, kErrCancelled);
+  // The sleep's sim event was cancelled, not abandoned: the queue is empty.
+  EXPECT_EQ(simulator.pending(), 0u);
+  EXPECT_FALSE(simulator.step());
+}
+
+TEST(Task, CancelCascadesIntoAwaitedChild) {
+  Simulator simulator;
+  auto parent = relay(simulator);
+  EXPECT_FALSE(parent.done());
+  parent.cancel();
+  ASSERT_TRUE(parent.done());
+  ASSERT_FALSE(parent.result().ok());
+  EXPECT_EQ(parent.result().error().code, kErrCancelled);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Task, CancellationProbeCatchesSwallowedCancel) {
+  Simulator simulator;
+  auto task = stubborn(simulator);
+  task.cancel();
+  ASSERT_TRUE(task.done());
+  ASSERT_FALSE(task.result().ok());
+  EXPECT_EQ(task.result().error().code, kErrCancelled);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Task, OnDoneFiresWithTheResult) {
+  Simulator simulator;
+  auto task = answer_after(simulator, 2.0, 5);
+  int seen = 0;
+  task.on_done([&seen](const util::Result<int>& joined) {
+    seen = joined.ok() ? joined.value() : -1;
+  });
+  simulator.run();
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(Notify, NotifyAllWakesWaitersInParkOrder) {
+  Notify gate;
+  std::vector<int> order;
+  auto waiter = [](Notify& n, std::vector<int>& out, int id) -> Task<void> {
+    auto parked = n.wait();
+    if (co_await parked) out.push_back(id);
+  };
+  auto a = waiter(gate, order, 1);
+  auto b = waiter(gate, order, 2);
+  EXPECT_FALSE(a.done());
+  EXPECT_FALSE(b.done());
+  gate.notify_all();
+  ASSERT_TRUE(a.done());
+  ASSERT_TRUE(b.done());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Notify, CancelledWaiterResumesWithFalse) {
+  Notify gate;
+  bool notified = true;
+  auto task = [](Notify& n, bool& out) -> Task<void> {
+    auto parked = n.wait();
+    out = co_await parked;
+  }(gate, notified);
+  task.cancel();
+  ASSERT_TRUE(task.done());
+  EXPECT_FALSE(notified);
+  gate.notify_all();  // the stale waiter entry must be a consumed no-op
+}
+
+TEST(Combinators, AllOfJoinsEveryChildInInputOrder) {
+  Simulator simulator;
+  std::vector<Task<int>> children;
+  children.push_back(answer_after(simulator, 1.0, 10));
+  children.push_back(answer_after(simulator, 3.0, 20));
+  children.push_back(answer_after(simulator, 2.0, 30));
+  auto joined = all_of(std::move(children));
+  simulator.run();
+  ASSERT_TRUE(joined.done());
+  ASSERT_TRUE(joined.result().ok());
+  const auto& results = joined.result().value();
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+  EXPECT_EQ(results[0].value(), 10);
+  EXPECT_EQ(results[1].value(), 20);
+  EXPECT_EQ(results[2].value(), 30);
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);  // gated by the slowest child
+}
+
+TEST(Combinators, AnyOfYieldsWinnerAndCancelsLosers) {
+  Simulator simulator;
+  std::vector<Task<int>> racers;
+  racers.push_back(patient(simulator, 5.0, 1));
+  racers.push_back(patient(simulator, 1.0, 2));
+  auto race = any_of(std::move(racers));
+  simulator.run();
+  ASSERT_TRUE(race.done());
+  ASSERT_TRUE(race.result().ok());
+  EXPECT_EQ(race.result().value().index, 1u);
+  ASSERT_TRUE(race.result().value().result.ok());
+  EXPECT_EQ(race.result().value().result.value(), 2);
+  // The loser's sleep was cancelled, not left to burn simulated time.
+  EXPECT_EQ(simulator.pending(), 0u);
+  EXPECT_DOUBLE_EQ(simulator.now(), 1.0);
+}
+
+TEST(Combinators, WithTimeoutExpiryCancelsAndReportsTimeout) {
+  Simulator simulator;
+  auto guarded = with_timeout(simulator, patient(simulator, 100.0, 1), 5.0);
+  simulator.run();
+  ASSERT_TRUE(guarded.done());
+  ASSERT_FALSE(guarded.result().ok());
+  EXPECT_EQ(guarded.result().error().code, kErrTimeout);
+  EXPECT_DOUBLE_EQ(simulator.now(), 5.0);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Combinators, WithTimeoutPassesInnerResultThrough) {
+  Simulator simulator;
+  auto guarded = with_timeout(simulator, patient(simulator, 2.0, 7), 5.0);
+  simulator.run();
+  ASSERT_TRUE(guarded.done());
+  ASSERT_TRUE(guarded.result().ok());
+  EXPECT_EQ(guarded.result().value(), 7);
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.0);  // the timer was cancelled
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace droute::sim
 
@@ -98,18 +327,18 @@ sim::Process detour_script(World& world, double& leg1_s, double& leg2_s,
 
   auto leg1_awaitable = transfer(world.fabric(), ubc, ua, 50 * util::kMB);
   auto leg1 = co_await leg1_awaitable;
-  if (!leg1) {
+  if (!leg1.ok()) {
     ok = false;
     co_return;
   }
-  leg1_s = leg1->duration_s();
+  leg1_s = leg1.value().duration_s();
   auto leg2_awaitable = transfer(world.fabric(), ua, fe, 50 * util::kMB);
   auto leg2 = co_await leg2_awaitable;
-  if (!leg2) {
+  if (!leg2.ok()) {
     ok = false;
     co_return;
   }
-  leg2_s = leg2->duration_s();
+  leg2_s = leg2.value().duration_s();
   ok = true;
 }
 
@@ -130,7 +359,7 @@ TEST(TransferAwait, SequentialDetourScript) {
   EXPECT_GT(world->simulator().now(), leg1_s + leg2_s - 0.5);
 }
 
-TEST(TransferAwait, RejectedFlowResumesWithNullopt) {
+TEST(TransferAwait, RejectedFlowResumesWithError) {
   WorldConfig config;
   config.cross_traffic = false;
   auto world = World::create(config);
@@ -142,17 +371,20 @@ TEST(TransferAwait, RejectedFlowResumesWithNullopt) {
           .value());
   bool reached_end = false;
   bool got_stats = true;
-  [](World& w, bool& end, bool& stats) -> sim::Process {
+  std::string error;
+  [](World& w, bool& end, bool& stats, std::string& err) -> sim::Process {
     auto awaitable = transfer(
         w.fabric(), w.client_node(scenario::Client::kUCLA),
         w.provider_node(cloud::ProviderKind::kDropbox), util::kMB);
     auto result = co_await awaitable;
-    stats = result.has_value();
+    stats = result.ok();
+    if (!result.ok()) err = result.error().message;
     end = true;
-  }(*world, reached_end, got_stats);
+  }(*world, reached_end, got_stats, error);
   // The rejection path never suspends, so the script is already finished.
   EXPECT_TRUE(reached_end);
   EXPECT_FALSE(got_stats);
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(TransferAwait, ConcurrentScriptsShareTheFabric) {
@@ -170,7 +402,7 @@ TEST(TransferAwait, ConcurrentScriptsShareTheFabric) {
         w.intermediate_node(scenario::Intermediate::kUAlberta),
         25 * util::kMB);
     auto stats = co_await awaitable;
-    if (stats) out.push_back(stats->duration_s());
+    if (stats.ok()) out.push_back(stats.value().duration_s());
   };
   script(*world, durations);
   script(*world, durations);
@@ -182,3 +414,121 @@ TEST(TransferAwait, ConcurrentScriptsShareTheFabric) {
 
 }  // namespace
 }  // namespace droute::net
+
+// ---------------------------------------------------------------------------
+// Engine coroutines under contract violations, fault injection and budgets.
+
+namespace droute::transfer {
+namespace {
+
+using scenario::World;
+using scenario::WorldConfig;
+
+std::unique_ptr<World> quiet_world() {
+  WorldConfig config;
+  config.cross_traffic = false;
+  return World::create(config);
+}
+
+TEST(DetourTask, ThrowingLegSurfacesAsFailedResult) {
+  auto world = quiet_world();
+  const auto ubc = world->client_node(scenario::Client::kUBC);
+  const auto ua = world->intermediate_node(scenario::Intermediate::kUAlberta);
+  DetourOptions options;
+  options.rsync.basis_overlap = 1.5;  // violates the rsync engine contract
+
+  auto task = world->detour_engine(cloud::ProviderKind::kGoogleDrive)
+                  .transfer_task(ubc, ua, make_file_mb(10, 7), options);
+  world->simulator().run();
+  ASSERT_TRUE(task.done());
+  // The leg's exception was folded into a failed result, not rethrown.
+  ASSERT_TRUE(task.result().ok());
+  const DetourResult& result = task.result().value();
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.error.find("detour leg 1 (rsync)"), std::string::npos);
+  EXPECT_NE(result.error.find("basis_overlap"), std::string::npos);
+}
+
+TEST(DetourTask, ThrowingLegSurfacesThroughCallbackShim) {
+  auto world = quiet_world();
+  const auto ubc = world->client_node(scenario::Client::kUBC);
+  const auto ua = world->intermediate_node(scenario::Intermediate::kUAlberta);
+  DetourOptions options;
+  options.rsync.basis_overlap = 1.5;
+
+  DetourResult seen;
+  bool fired = false;
+  world->detour_engine(cloud::ProviderKind::kGoogleDrive)
+      .transfer(ubc, ua, make_file_mb(10, 7),
+                [&](const DetourResult& result) {
+                  fired = true;
+                  seen = result;
+                },
+                options);
+  world->simulator().run();
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(seen.success);
+  EXPECT_NE(seen.error.find("detour leg 1 (rsync)"), std::string::npos);
+}
+
+TEST(RsyncTask, AbortFlowMidTransferFailsTheLeg) {
+  auto world = quiet_world();
+  RsyncEngine engine(&world->fabric());
+  auto task = engine.push_task(world->node("planetlab1.cs.ubc.ca"),
+                               world->node("cluster.cs.ualberta.ca"),
+                               make_file_mb(40, 3));
+  world->simulator().run_until(3.0);
+  ASSERT_FALSE(task.done());
+  // Whichever rsync flow is in flight (signature or delta) dies; aborting
+  // an already-finished id is a no-op.
+  world->fabric().abort_flow(1);
+  world->fabric().abort_flow(2);
+  world->simulator().run();
+  ASSERT_TRUE(task.done());
+  ASSERT_TRUE(task.result().ok());
+  EXPECT_FALSE(task.result().value().success);
+  EXPECT_FALSE(task.result().value().error.empty());
+}
+
+TEST(DetourTask, FailLinkMidLeg1FailsTheDetour) {
+  auto world = quiet_world();
+  const auto ubc = world->client_node(scenario::Client::kUBC);
+  const auto ua = world->intermediate_node(scenario::Intermediate::kUAlberta);
+  auto task = world->detour_engine(cloud::ProviderKind::kGoogleDrive)
+                  .transfer_task(ubc, ua, make_file_mb(50, 5));
+  world->simulator().run_until(4.0);
+  ASSERT_FALSE(task.done());
+  world->fabric().fail_link(world->topology()
+                                .find_link(world->node("planetlab1.cs.ubc.ca"),
+                                           world->node("cs-gw.net.ubc.ca"))
+                                .value());
+  world->simulator().run();
+  ASSERT_TRUE(task.done());
+  ASSERT_TRUE(task.result().ok());
+  EXPECT_FALSE(task.result().value().success);
+  EXPECT_NE(task.result().value().error.find("detour leg 1"),
+            std::string::npos);
+}
+
+TEST(DetourTask, TimeoutDuringLeg2AbandonsTheApiSession) {
+  auto world = quiet_world();
+  const auto ubc = world->client_node(scenario::Client::kUBC);
+  const auto ua = world->intermediate_node(scenario::Intermediate::kUAlberta);
+  // Leg 1 (rsync, ~9.5 s) finishes; the 15 s budget expires mid-upload.
+  auto guarded = sim::with_timeout(
+      world->simulator(),
+      world->detour_engine(cloud::ProviderKind::kGoogleDrive)
+          .transfer_task(ubc, ua, make_file_mb(50, 9)),
+      15.0);
+  world->simulator().run();
+  ASSERT_TRUE(guarded.done());
+  ASSERT_FALSE(guarded.result().ok());
+  EXPECT_EQ(guarded.result().error().code, sim::kErrTimeout);
+  EXPECT_DOUBLE_EQ(world->simulator().now(), 15.0);
+  // The cancelled upload abandoned its API session on the way out.
+  EXPECT_EQ(world->server(cloud::ProviderKind::kGoogleDrive).open_sessions(),
+            0u);
+}
+
+}  // namespace
+}  // namespace droute::transfer

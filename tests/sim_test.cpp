@@ -157,5 +157,47 @@ TEST(Simulator, CancelFromWithinHandler) {
   EXPECT_FALSE(second_fired);
 }
 
+TEST(Simulator, PendingCountsExactlyTheLiveEvents) {
+  // pending() must stay exact through every cancel/fire interleaving — it
+  // counts registered handlers, not heap entries, so lazily-skimmed
+  // cancelled twins never inflate it.
+  Simulator simulator;
+  const EventId a = simulator.schedule_in(1.0, [] {});
+  const EventId b = simulator.schedule_in(2.0, [] {});
+  const EventId c = simulator.schedule_in(3.0, [] {});
+  EXPECT_EQ(simulator.pending(), 3u);
+
+  // Cancel the middle event: its heap twin is still enqueued (skimmed only
+  // when it reaches the top), but it is no longer pending.
+  EXPECT_TRUE(simulator.cancel(b));
+  EXPECT_EQ(simulator.pending(), 2u);
+
+  ASSERT_TRUE(simulator.step());  // fires a
+  EXPECT_EQ(simulator.pending(), 1u);
+
+  // Cancelling an already-fired or already-cancelled id changes nothing.
+  EXPECT_FALSE(simulator.cancel(a));
+  EXPECT_FALSE(simulator.cancel(b));
+  EXPECT_EQ(simulator.pending(), 1u);
+
+  EXPECT_TRUE(simulator.cancel(c));
+  EXPECT_EQ(simulator.pending(), 0u);
+  EXPECT_FALSE(simulator.step());  // only cancelled twins left in the heap
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Simulator, PendingTracksHandlersThatScheduleMore) {
+  Simulator simulator;
+  simulator.schedule_in(1.0, [&simulator] {
+    simulator.schedule_in(1.0, [] {});
+    simulator.schedule_in(2.0, [] {});
+  });
+  EXPECT_EQ(simulator.pending(), 1u);
+  ASSERT_TRUE(simulator.step());
+  EXPECT_EQ(simulator.pending(), 2u);
+  simulator.run();
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace droute::sim

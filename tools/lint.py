@@ -22,6 +22,11 @@ Rules, all scoped to src/:
                 _mbps, _ratio), gauges carry neither. Checked at every
                 counter()/gauge()/histogram()/count() call site so exported
                 dumps stay greppable (DESIGN.md §9).
+  job-state     (src/transfer/ only) no `std::make_shared<...Job...>`
+                callback-era job state. Transfer control flow lives in
+                sim::Task<T> coroutines (DESIGN.md §10); shared-state job
+                structs threaded through callbacks are the pattern this
+                repo migrated away from.
 
 A line can waive one rule with an inline marker, stating the reason:
     ... // lint: allow(raw-new) — private ctor, owned by unique_ptr
@@ -55,6 +60,12 @@ DECL_EXCLUDE_RE = re.compile(
 )
 
 NEW_DELETE_RE = re.compile(r"\bnew\b|\bdelete\b")
+
+# Callback-era shared job state in the transfer layer: a heap-allocated
+# *Job* struct captured by every continuation. The coroutine migration
+# (DESIGN.md §10) made these frames implicit; new ones should not appear.
+JOB_STATE_RE = re.compile(r"\bmake_shared\s*<\s*\w*Job\w*\s*>")
+JOB_STATE_SCOPE = ("src", "transfer")
 
 # Metric-name literals at instrument call sites. Runs on RAW lines (names
 # live inside string literals, which strip_code removes).
@@ -140,12 +151,15 @@ class Linter:
                 code = code[:start] + " " + code[end + 2:]
             stripped.append(code)
 
+        in_transfer = rel.parts[: len(JOB_STATE_SCOPE)] == JOB_STATE_SCOPE
         for idx, code in enumerate(stripped):
             line_no = idx + 1
             self.check_raw_new(path, line_no, code, waivers[idx])
             if rel not in TIME_EQ_EXEMPT:
                 self.check_time_eq(path, line_no, code, waivers[idx])
             self.check_metric_name(path, line_no, raw_lines[idx], waivers[idx])
+            if in_transfer:
+                self.check_job_state(path, line_no, code, waivers[idx])
         if path.suffix == ".h":
             self.check_nodiscard(path, stripped, waivers)
 
@@ -170,6 +184,19 @@ class Linter:
                 path, line_no, "raw-new",
                 "raw new/delete — use containers or smart pointers "
                 "(waive with `lint: allow(raw-new)` and a reason)",
+            )
+
+    def check_job_state(
+        self, path: Path, line_no: int, code: str, allowed: set[str]
+    ) -> None:
+        if "job-state" in allowed:
+            return
+        if JOB_STATE_RE.search(code):
+            self.report(
+                path, line_no, "job-state",
+                "shared-state *Job* allocation — write the pipeline as a "
+                "sim::Task<T> coroutine instead (DESIGN.md §10; waive with "
+                "`lint: allow(job-state)` and a reason)",
             )
 
     def check_time_eq(
