@@ -1,0 +1,147 @@
+#include "chaos/case_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace droute::chaos {
+
+namespace {
+
+const char* relation_name(net::AsRelation rel) {
+  switch (rel) {
+    case net::AsRelation::kCustomer: return "customer";
+    case net::AsRelation::kPeer: return "peer";
+    case net::AsRelation::kProvider: return "provider";
+  }
+  return "unknown";
+}
+
+util::Result<net::AsRelation> parse_relation(const std::string& token) {
+  if (token == "customer") return net::AsRelation::kCustomer;
+  if (token == "peer") return net::AsRelation::kPeer;
+  if (token == "provider") return net::AsRelation::kProvider;
+  return util::Error::make("unknown AS relation: " + token);
+}
+
+util::Error malformed(const std::string& line) {
+  return util::Error::make("malformed case line: " + line);
+}
+
+}  // namespace
+
+std::string format_case(const Case& c, const std::string& violated) {
+  std::string out = "# droute proptest case v1\n";
+  out += "# seed: " + std::to_string(c.seed) + "\n";
+  out += "# violated: " + (violated.empty() ? std::string("none") : violated) +
+         "\n";
+  out += "case " + std::to_string(c.seed) + "\n";
+  out += "topo_ases " + std::to_string(c.topology.ases) + "\n";
+  for (const GenRelation& rel : c.topology.relations) {
+    out += "topo_rel " + std::to_string(rel.a) + " " + std::to_string(rel.b) +
+           " " + relation_name(rel.b_is_to_a) + "\n";
+  }
+  for (const GenNode& node : c.topology.nodes) {
+    out += "topo_node " + std::to_string(node.as) + " " +
+           (node.host ? "host" : "router") + " " + format_double(node.lat) +
+           " " + format_double(node.lon) + "\n";
+  }
+  for (const GenLink& link : c.topology.links) {
+    out += "topo_link " + std::to_string(link.src) + " " +
+           std::to_string(link.dst) + " " + format_double(link.capacity_mbps) +
+           " " + format_double(link.delay_s) + " " +
+           format_double(link.policer_mbps) + "\n";
+  }
+  out += "server " + std::to_string(c.server_node) + "\n";
+  for (const WorkItem& item : c.work) {
+    out += "work " + format_double(item.start_s) + " " +
+           work_kind_name(item.kind) + " " + std::to_string(item.client) +
+           " " + std::to_string(item.via) + " " + std::to_string(item.bytes) +
+           " " + std::to_string(item.file_seed) + "\n";
+  }
+  for (const Event& event : c.plan.events) {
+    out += format_event(event) + "\n";
+  }
+  return out;
+}
+
+util::Result<Case> parse_case(const std::string& text) {
+  Case c;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "case") {
+      if (!(fields >> c.seed)) return malformed(line);
+      c.plan.seed = c.seed;
+    } else if (keyword == "topo_ases") {
+      if (!(fields >> c.topology.ases)) return malformed(line);
+    } else if (keyword == "topo_rel") {
+      GenRelation rel;
+      std::string token;
+      if (!(fields >> rel.a >> rel.b >> token)) return malformed(line);
+      auto parsed = parse_relation(token);
+      if (!parsed.ok()) return parsed.error();
+      rel.b_is_to_a = parsed.value();
+      c.topology.relations.push_back(rel);
+    } else if (keyword == "topo_node") {
+      GenNode node;
+      std::string role;
+      if (!(fields >> node.as >> role >> node.lat >> node.lon)) {
+        return malformed(line);
+      }
+      if (role != "host" && role != "router") return malformed(line);
+      node.host = role == "host";
+      c.topology.nodes.push_back(node);
+    } else if (keyword == "topo_link") {
+      GenLink link;
+      if (!(fields >> link.src >> link.dst >> link.capacity_mbps >>
+            link.delay_s >> link.policer_mbps)) {
+        return malformed(line);
+      }
+      c.topology.links.push_back(link);
+    } else if (keyword == "server") {
+      if (!(fields >> c.server_node)) return malformed(line);
+    } else if (keyword == "work") {
+      WorkItem item;
+      std::string token;
+      if (!(fields >> item.start_s >> token >> item.client >> item.via >>
+            item.bytes >> item.file_seed)) {
+        return malformed(line);
+      }
+      auto kind = parse_work_kind(token);
+      if (!kind.ok()) return kind.error();
+      item.kind = kind.value();
+      c.work.push_back(item);
+    } else if (keyword == "event") {
+      auto event = parse_event_line(line);
+      if (!event.ok()) return event.error();
+      c.plan.events.push_back(event.value());
+    } else {
+      return util::Error::make("unknown case line: " + line);
+    }
+  }
+  return c;
+}
+
+util::Result<Case> load_case_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Error::make("cannot open case file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_case(buffer.str());
+}
+
+util::Status save_case_file(const std::string& path, const Case& c,
+                            const std::string& violated) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return util::Status::failure("cannot write case file: " + path);
+  out << format_case(c, violated);
+  out.close();
+  if (!out) return util::Status::failure("write failed: " + path);
+  return util::Status::success();
+}
+
+}  // namespace droute::chaos

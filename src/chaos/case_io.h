@@ -1,0 +1,46 @@
+// Text serialization for chaos::Case — the `.case` replay-corpus format.
+//
+// A case file is line-oriented, one declaration per line:
+//
+//   # droute proptest case v1
+//   # seed: 42
+//   # violated: detour_identity
+//   case 42
+//   topo_ases 3
+//   topo_rel 0 1 customer
+//   topo_node 0 router 49.2 -123.1
+//   topo_link 0 1 1000 0.002 0
+//   server 4
+//   work 1.5 api_upload 3 -1 8388608 17293822569102704640
+//   event 12 link_fail 6 0
+//
+// `#` lines are comments; format_case always emits the `# seed:` and
+// `# violated:` headers because the repo lint requires them on files under
+// tests/corpus/ (the violated header names the property the case once
+// broke — provenance for whoever reruns it). Doubles use format_double, so
+// parse -> format reproduces the input byte-for-byte (round-trip tested).
+#pragma once
+
+#include <string>
+
+#include "chaos/scenario.h"
+#include "util/result.h"
+
+namespace droute::chaos {
+
+/// Serializes `c` with provenance headers. `violated` names the property
+/// the case was minimized against ("none" for hand-written regressions).
+std::string format_case(const Case& c, const std::string& violated);
+
+/// Inverse of format_case (ignores comments and blank lines).
+[[nodiscard]] util::Result<Case> parse_case(const std::string& text);
+
+/// Reads and parses a case file.
+[[nodiscard]] util::Result<Case> load_case_file(const std::string& path);
+
+/// Writes format_case output to `path` (truncating).
+[[nodiscard]] util::Status save_case_file(const std::string& path,
+                                          const Case& c,
+                                          const std::string& violated);
+
+}  // namespace droute::chaos

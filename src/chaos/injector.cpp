@@ -1,0 +1,147 @@
+#include "chaos/injector.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "check/contract.h"
+#include "obs/recorder.h"
+#include "util/logging.h"
+
+namespace droute::chaos {
+
+Injector::Injector(Targets targets) : targets_(std::move(targets)) {
+  DROUTE_CHECK(targets_.simulator != nullptr && targets_.fabric != nullptr &&
+                   targets_.topo != nullptr && targets_.routes != nullptr,
+               "Injector: null dependency");
+  obs_injected_ = obs::counter("chaos.events_injected_total");
+  obs_skipped_ = obs::counter("chaos.events_skipped_total");
+}
+
+void Injector::arm(const Plan& plan) {
+  // Stable storage: handlers reference armed_ entries by index, so arm()
+  // must not be called again while events are pending. Reserve exactly.
+  const std::size_t base = armed_.size();
+  armed_.reserve(base + plan.events.size());
+  for (const Event& event : plan.events) {
+    armed_.push_back(event);
+  }
+  sim::Simulator& simulator = *targets_.simulator;
+  for (std::size_t i = base; i < armed_.size(); ++i) {
+    const double at = std::max(armed_[i].at_s, simulator.now());
+    simulator.schedule_at(at, [this, i] { apply(armed_[i]); });
+  }
+}
+
+void Injector::apply(const Event& event) {
+  if (apply_impl(event)) {
+    ++injected_;
+    obs::add(obs_injected_);
+    if (obs::enabled()) {
+      const double now = targets_.simulator->now();
+      obs::emit_span("chaos.event_inject", obs::Clock::kSim, now, now,
+                     {{"kind", event_kind_name(event.kind)},
+                      {"target", std::to_string(event.target)},
+                      {"value", format_double(event.value)}});
+    }
+    if (post_apply_) post_apply_(event);
+  } else {
+    ++skipped_;
+    obs::add(obs_skipped_);
+    DROUTE_LOG(kDebug) << "chaos: skipped " << event_kind_name(event.kind)
+                       << " target=" << event.target << " (out of range)";
+  }
+}
+
+bool Injector::valid_link(std::int32_t id) const {
+  return id >= 0 &&
+         static_cast<std::size_t>(id) < targets_.topo->link_count();
+}
+
+bool Injector::valid_node(std::int32_t id) const {
+  return id >= 0 &&
+         static_cast<std::size_t>(id) < targets_.topo->node_count();
+}
+
+bool Injector::apply_impl(const Event& event) {
+  net::Fabric& fabric = *targets_.fabric;
+  net::Topology& topo = *targets_.topo;
+  switch (event.kind) {
+    case EventKind::kLinkFail:
+      if (!valid_link(event.target)) return false;
+      fabric.fail_link(event.target);
+      return true;
+    case EventKind::kLinkRestore:
+      if (!valid_link(event.target)) return false;
+      fabric.restore_link(event.target);
+      return true;
+    case EventKind::kRouteWithdraw:
+    case EventKind::kRouteAnnounce: {
+      // Control-plane-only churn: new routes avoid (or regain) the link,
+      // but flows already riding it keep flowing — the BGP-withdraw shape,
+      // distinct from a physical link failure.
+      if (!valid_link(event.target)) return false;
+      const bool enable = event.kind == EventKind::kRouteAnnounce;
+      const auto status = topo.set_link_enabled(event.target, enable);
+      DROUTE_CHECK(status.ok(), "chaos: set_link_enabled on checked id");
+      targets_.routes->invalidate();
+      return true;
+    }
+    case EventKind::kCapacityRewrite: {
+      if (!valid_link(event.target) || event.value <= 0.0) return false;
+      const auto status = topo.set_link_capacity(event.target, event.value);
+      DROUTE_CHECK(status.ok(), "chaos: set_link_capacity on checked id");
+      fabric.reallocate_now();  // shares must converge before the audit hook
+      return true;
+    }
+    case EventKind::kPolicerRewrite: {
+      if (!valid_link(event.target) || event.value < 0.0) return false;
+      const auto status = topo.set_link_policer(event.target, event.value);
+      DROUTE_CHECK(status.ok(), "chaos: set_link_policer on checked id");
+      return true;
+    }
+    case EventKind::kMiddleboxRewrite: {
+      if (!valid_node(event.target) || event.value < 0.0) return false;
+      const auto status = topo.set_middlebox(event.target, event.value);
+      DROUTE_CHECK(status.ok(), "chaos: set_middlebox on checked id");
+      return true;
+    }
+    case EventKind::kFlowAbort:
+      // Aborting an unknown or finished flow is the documented no-op; the
+      // plan generator deliberately over-approximates live flow ids.
+      fabric.abort_flow(static_cast<net::FlowId>(event.target));
+      return true;
+    case EventKind::kThrottleStorm:
+    case EventKind::kThrottleCalm: {
+      if (event.target < 0 ||
+          static_cast<std::size_t>(event.target) >= targets_.servers.size()) {
+        return false;
+      }
+      cloud::StorageServer* server =
+          targets_.servers[static_cast<std::size_t>(event.target)];
+      const int budget = event.kind == EventKind::kThrottleStorm
+                             ? std::max(1, static_cast<int>(event.value))
+                             : 0;
+      server->set_throttle(budget);
+      return true;
+    }
+    case EventKind::kNodeCrash:
+    case EventKind::kNodeRecover: {
+      if (!valid_node(event.target)) return false;
+      const bool crash = event.kind == EventKind::kNodeCrash;
+      for (std::size_t lid = 0; lid < topo.link_count(); ++lid) {
+        const net::Link& link = topo.link(static_cast<net::LinkId>(lid));
+        if (link.src != event.target && link.dst != event.target) continue;
+        if (crash) {
+          fabric.fail_link(link.id);
+        } else {
+          fabric.restore_link(link.id);
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace droute::chaos

@@ -1,0 +1,89 @@
+// Applies a chaos::Plan to a live simulated stack, deterministically.
+//
+// The injector schedules one simulator event per plan event and applies the
+// fault through the stack's existing mutation hooks (Fabric::fail_link /
+// restore_link / abort_flow / reallocate_now, Topology::set_link_capacity /
+// set_link_policer / set_middlebox / set_link_enabled,
+// StorageServer::set_throttle). Injection is therefore bit-reproducible:
+// the same plan against the same world produces the same event interleaving
+// (simulator ties break by scheduling order, and the injector arms its
+// events before the workload starts).
+//
+// Every applied event bumps `chaos.events_injected_total` and emits a
+// zero-duration `chaos.event_inject` obs span carrying the event's kind,
+// target and value, so chaos shows up in exported traces exactly where it
+// struck. Events with out-of-range targets (possible after aggressive
+// shrinking or hand edits) are counted as skipped, never fatal.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "chaos/plan.h"
+#include "cloud/storage_server.h"
+#include "net/fabric.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace droute::obs {
+class Counter;
+}  // namespace droute::obs
+
+namespace droute::chaos {
+
+/// The live stack a plan is applied to. Simulator, fabric, topology and
+/// routes are required; servers may be empty (throttle events then skip).
+struct Targets {
+  sim::Simulator* simulator = nullptr;
+  net::Fabric* fabric = nullptr;
+  net::Topology* topo = nullptr;
+  net::RouteTable* routes = nullptr;
+  std::vector<cloud::StorageServer*> servers;
+};
+
+class Injector {
+ public:
+  explicit Injector(Targets targets);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Schedules every plan event (events not after now() fire immediately in
+  /// scheduling order). The injector must outlive the simulation run.
+  void arm(const Plan& plan);
+
+  /// Applies one event right now (arm()'s handlers funnel through here;
+  /// tests drive it directly).
+  void apply(const Event& event);
+
+  /// Hook running after every applied event — the property harness audits
+  /// invariants here, immediately after each fault lands.
+  void set_post_apply(std::function<void(const Event&)> hook) {
+    post_apply_ = std::move(hook);
+  }
+
+  /// Events applied so far.
+  std::size_t injected() const { return injected_; }
+
+  /// Events dropped for out-of-range targets.
+  std::size_t skipped() const { return skipped_; }
+
+ private:
+  // Returns false when the event's target is out of range.
+  bool apply_impl(const Event& event);
+
+  bool valid_link(std::int32_t id) const;
+  bool valid_node(std::int32_t id) const;
+
+  Targets targets_;
+  std::vector<Event> armed_;  // stable storage for scheduled handlers
+  std::function<void(const Event&)> post_apply_;
+  std::size_t injected_ = 0;
+  std::size_t skipped_ = 0;
+  obs::Counter* obs_injected_ = nullptr;
+  obs::Counter* obs_skipped_ = nullptr;
+};
+
+}  // namespace droute::chaos

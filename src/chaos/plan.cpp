@@ -1,0 +1,252 @@
+#include "chaos/plan.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace droute::chaos {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr std::array<KindName, 12> kKindNames{{
+    {EventKind::kLinkFail, "link_fail"},
+    {EventKind::kLinkRestore, "link_restore"},
+    {EventKind::kRouteWithdraw, "route_withdraw"},
+    {EventKind::kRouteAnnounce, "route_announce"},
+    {EventKind::kCapacityRewrite, "capacity_rewrite"},
+    {EventKind::kPolicerRewrite, "policer_rewrite"},
+    {EventKind::kMiddleboxRewrite, "middlebox_rewrite"},
+    {EventKind::kFlowAbort, "flow_abort"},
+    {EventKind::kThrottleStorm, "throttle_storm"},
+    {EventKind::kThrottleCalm, "throttle_calm"},
+    {EventKind::kNodeCrash, "node_crash"},
+    {EventKind::kNodeRecover, "node_recover"},
+}};
+
+}  // namespace
+
+std::string event_kind_name(EventKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+util::Result<EventKind> parse_event_kind(const std::string& token) {
+  for (const KindName& entry : kKindNames) {
+    if (token == entry.name) return entry.kind;
+  }
+  return util::Error::make("unknown chaos event kind: " + token);
+}
+
+bool event_targets_link(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLinkFail:
+    case EventKind::kLinkRestore:
+    case EventKind::kRouteWithdraw:
+    case EventKind::kRouteAnnounce:
+    case EventKind::kCapacityRewrite:
+    case EventKind::kPolicerRewrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool event_churns_routes(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLinkFail:
+    case EventKind::kLinkRestore:
+    case EventKind::kRouteWithdraw:
+    case EventKind::kRouteAnnounce:
+    case EventKind::kNodeCrash:
+    case EventKind::kNodeRecover:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string format_double(double value) {
+  // %.17g survives a strtod round trip exactly; reformatting the parsed
+  // value reproduces the same bytes, which the corpus format relies on.
+  std::array<char, 64> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.17g", value);
+  return buffer.data();
+}
+
+std::string format_event(const Event& event) {
+  return "event " + format_double(event.at_s) + " " +
+         event_kind_name(event.kind) + " " + std::to_string(event.target) +
+         " " + format_double(event.value);
+}
+
+util::Result<Event> parse_event_line(const std::string& line) {
+  std::istringstream in(line);
+  std::string keyword;
+  std::string kind_token;
+  Event event;
+  if (!(in >> keyword >> event.at_s >> kind_token >> event.target >>
+        event.value) ||
+      keyword != "event") {
+    return util::Error::make("malformed event line: " + line);
+  }
+  auto kind = parse_event_kind(kind_token);
+  if (!kind.ok()) return kind.error();
+  event.kind = kind.value();
+  return event;
+}
+
+std::string format_plan(const Plan& plan) {
+  std::string out = "# droute chaos plan v1\n";
+  out += "seed " + std::to_string(plan.seed) + "\n";
+  for (const Event& event : plan.events) {
+    out += format_event(event) + "\n";
+  }
+  return out;
+}
+
+util::Result<Plan> parse_plan(const std::string& text) {
+  Plan plan;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "seed") {
+      if (!(fields >> plan.seed)) {
+        return util::Error::make("malformed seed line: " + line);
+      }
+    } else if (keyword == "event") {
+      auto event = parse_event_line(line);
+      if (!event.ok()) return event.error();
+      plan.events.push_back(event.value());
+    } else {
+      return util::Error::make("unknown plan line: " + line);
+    }
+  }
+  return plan;
+}
+
+Plan random_plan(util::Rng& rng, const PlanSpec& spec) {
+  Plan plan;
+  if (spec.max_events <= 0) return plan;
+  const int budget = static_cast<int>(rng.uniform_int(0, spec.max_events));
+  auto draw_time = [&rng, &spec] {
+    return rng.uniform(0.02 * spec.horizon_s, 0.95 * spec.horizon_s);
+  };
+  auto draw_link = [&rng, &spec] {
+    return static_cast<std::int32_t>(rng.uniform_int(0, spec.links - 1));
+  };
+  auto draw_node = [&rng, &spec] {
+    return static_cast<std::int32_t>(rng.uniform_int(0, spec.nodes - 1));
+  };
+
+  int emitted = 0;
+  while (emitted < budget) {
+    // Weighted pick over fault families; paired kinds emit both halves so
+    // the world usually heals (persistent damage still happens when the
+    // pair straddles the horizon or the restore draw lands early).
+    const std::int64_t family = rng.uniform_int(0, 7);
+    const double at = draw_time();
+    switch (family) {
+      case 0: {  // link flap: fail + restore
+        if (spec.links == 0) break;
+        const std::int32_t link = draw_link();
+        const double down_for = rng.uniform(0.5, 0.25 * spec.horizon_s);
+        plan.events.push_back({at, EventKind::kLinkFail, link, 0.0});
+        plan.events.push_back(
+            {at + down_for, EventKind::kLinkRestore, link, 0.0});
+        emitted += 2;
+        break;
+      }
+      case 1: {  // route withdraw + re-announce
+        if (spec.links == 0) break;
+        const std::int32_t link = draw_link();
+        const double gone_for = rng.uniform(0.5, 0.25 * spec.horizon_s);
+        plan.events.push_back({at, EventKind::kRouteWithdraw, link, 0.0});
+        plan.events.push_back(
+            {at + gone_for, EventKind::kRouteAnnounce, link, 0.0});
+        emitted += 2;
+        break;
+      }
+      case 2: {  // capacity brownout (0.2x..2x of a typical rate)
+        if (spec.links == 0) break;
+        const double mbps = rng.uniform(20.0, 4000.0);
+        plan.events.push_back(
+            {at, EventKind::kCapacityRewrite, draw_link(), mbps});
+        emitted += 1;
+        break;
+      }
+      case 3: {  // policer appears (or clears, 1 in 4)
+        if (spec.links == 0) break;
+        const double mbps = rng.chance(0.25) ? 0.0 : rng.uniform(5.0, 80.0);
+        plan.events.push_back(
+            {at, EventKind::kPolicerRewrite, draw_link(), mbps});
+        emitted += 1;
+        break;
+      }
+      case 4: {  // abort a (possibly finished — then a no-op) flow
+        const std::int32_t flow = static_cast<std::int32_t>(
+            rng.uniform_int(1, std::max(1, spec.max_flow_id)));
+        plan.events.push_back({at, EventKind::kFlowAbort, flow, 0.0});
+        emitted += 1;
+        break;
+      }
+      case 5: {  // 429 storm: tiny request budget, then calm
+        if (spec.servers == 0) break;
+        const std::int32_t server = static_cast<std::int32_t>(
+            rng.uniform_int(0, spec.servers - 1));
+        const double budget_per_window =
+            static_cast<double>(rng.uniform_int(1, 4));
+        const double storm_for = rng.uniform(2.0, 0.3 * spec.horizon_s);
+        plan.events.push_back(
+            {at, EventKind::kThrottleStorm, server, budget_per_window});
+        plan.events.push_back(
+            {at + storm_for, EventKind::kThrottleCalm, server, 0.0});
+        emitted += 2;
+        break;
+      }
+      case 6: {  // DTN node crash mid-everything, later recovery
+        if (spec.nodes == 0) break;
+        const std::int32_t node = draw_node();
+        const double down_for = rng.uniform(1.0, 0.3 * spec.horizon_s);
+        plan.events.push_back({at, EventKind::kNodeCrash, node, 0.0});
+        plan.events.push_back(
+            {at + down_for, EventKind::kNodeRecover, node, 0.0});
+        emitted += 2;
+        break;
+      }
+      default: {  // middlebox ceiling appears/clears
+        if (spec.nodes == 0) break;
+        const double mbps = rng.chance(0.3) ? 0.0 : rng.uniform(10.0, 200.0);
+        plan.events.push_back(
+            {at, EventKind::kMiddleboxRewrite, draw_node(), mbps});
+        emitted += 1;
+        break;
+      }
+    }
+    // A family can be unavailable (no links/nodes); the draw still consumed
+    // stream values, so termination is guaranteed by bumping the count.
+    if (spec.links == 0 && spec.nodes == 0 && spec.servers == 0 &&
+        family != 4) {
+      emitted += 1;
+    }
+  }
+
+  std::stable_sort(
+      plan.events.begin(), plan.events.end(),
+      [](const Event& a, const Event& b) { return a.at_s < b.at_s; });
+  return plan;
+}
+
+}  // namespace droute::chaos

@@ -1,0 +1,109 @@
+// Deterministic, schedule-driven fault plans (droute::chaos).
+//
+// A chaos::Plan is a list of timed fault events — link failures and flaps,
+// route withdrawals, capacity/policer rewrites, cloud throttle storms, DTN
+// node crashes — applied to a live net/cloud stack by chaos::Injector. A
+// plan is plain data: generated from a single util::Rng substream
+// (random_plan), serialized to the text `.case` format (format_plan /
+// parse_plan) byte-identically, and shrunk event-by-event by chaos::shrink
+// when a property-based test fails. Replaying the same plan against the
+// same world is bit-reproducible because injection rides the simulator's
+// deterministic event order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace droute::chaos {
+
+/// What a timed event does to the stack (see Injector for exact semantics).
+enum class EventKind : std::uint8_t {
+  kLinkFail,          // Fabric::fail_link — kills flows, reroutes
+  kLinkRestore,       // Fabric::restore_link
+  kRouteWithdraw,     // disable link WITHOUT killing flows (BGP withdraw)
+  kRouteAnnounce,     // re-enable a withdrawn link
+  kCapacityRewrite,   // Topology::set_link_capacity + Fabric::reallocate_now
+  kPolicerRewrite,    // Topology::set_link_policer (0 clears)
+  kMiddleboxRewrite,  // Topology::set_middlebox (target = node)
+  kFlowAbort,         // Fabric::abort_flow (target = flow id; no-op if gone)
+  kThrottleStorm,     // StorageServer::set_throttle(value) — 429 burst
+  kThrottleCalm,      // StorageServer::set_throttle(0) — storm over
+  kNodeCrash,         // fail every link adjacent to node (DTN crash)
+  kNodeRecover,       // restore every link adjacent to node
+};
+
+/// Serialization token for a kind (e.g. "link_fail").
+std::string event_kind_name(EventKind kind);
+
+/// Inverse of event_kind_name.
+[[nodiscard]] util::Result<EventKind> parse_event_kind(const std::string& token);
+
+/// True when `kind`'s target field names a link id (shrinking a link must
+/// then drop or remap the event).
+bool event_targets_link(EventKind kind);
+
+/// True when `kind` changes which routes exist (the Gao–Rexford property
+/// re-validates after these).
+bool event_churns_routes(EventKind kind);
+
+struct Event {
+  double at_s = 0.0;        // absolute simulated time
+  EventKind kind = EventKind::kLinkFail;
+  std::int32_t target = 0;  // link / node / flow / server index per kind
+  double value = 0.0;       // rate or budget for rewrite/storm kinds
+
+  friend bool operator==(const Event& a, const Event& b) {
+    // Exact double equality on purpose: serialization round trips must be
+    // bit-faithful, approximate equality would mask format bugs.
+    return a.at_s == b.at_s && a.kind == b.kind && a.target == b.target &&
+           a.value == b.value;
+  }
+};
+
+struct Plan {
+  std::uint64_t seed = 0;  // provenance: the Rng seed that generated it
+  std::vector<Event> events;
+
+  friend bool operator==(const Plan& a, const Plan& b) {
+    return a.seed == b.seed && a.events == b.events;
+  }
+};
+
+/// Canonical shortest-round-trip text for a double (17 significant digits);
+/// shared by plan and case serialization so reformatting parsed text is
+/// byte-identical.
+std::string format_double(double value);
+
+/// One `event <at> <kind> <target> <value>` line (no newline).
+std::string format_event(const Event& event);
+
+/// Parses a format_event line (leading keyword included).
+[[nodiscard]] util::Result<Event> parse_event_line(const std::string& line);
+
+/// Whole-plan text: header comment, `seed` line, one `event` line each.
+std::string format_plan(const Plan& plan);
+
+/// Inverse of format_plan; ignores blank lines and `#` comments.
+[[nodiscard]] util::Result<Plan> parse_plan(const std::string& text);
+
+/// Bounds for random_plan: how big the world is (so targets are valid) and
+/// how violent the plan may be.
+struct PlanSpec {
+  double horizon_s = 90.0;   // events land in (0, horizon_s)
+  int links = 0;             // exclusive upper bound for link targets
+  int nodes = 0;             // exclusive upper bound for node targets
+  int servers = 1;           // exclusive upper bound for server targets
+  int max_flow_id = 16;      // flow-abort targets drawn from [1, max_flow_id]
+  int max_events = 8;        // total events (pairs count as 2)
+};
+
+/// Draws a plan from `rng`: flaps and crashes come as fail/restore pairs,
+/// storms as storm/calm pairs; events are sorted by time (stable, so
+/// generation order breaks ties deterministically).
+Plan random_plan(util::Rng& rng, const PlanSpec& spec);
+
+}  // namespace droute::chaos

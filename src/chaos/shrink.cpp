@@ -1,0 +1,91 @@
+#include "chaos/shrink.h"
+
+#include <utility>
+#include <vector>
+
+namespace droute::chaos {
+
+namespace {
+
+Case drop_event(const Case& c, std::size_t index) {
+  Case out = c;
+  out.plan.events.erase(out.plan.events.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+  return out;
+}
+
+Case drop_work(const Case& c, std::size_t index) {
+  Case out = c;
+  out.work.erase(out.work.begin() + static_cast<std::ptrdiff_t>(index));
+  return out;
+}
+
+/// One pass of "try deleting element i of a `count`-sized class"; restarts
+/// the index after a successful deletion (the class shrank under it).
+template <typename Count, typename Drop>
+bool sweep(Case& current, const ShrinkOracle& still_fails,
+           std::size_t max_attempts, std::size_t& attempts,
+           std::size_t& dropped, Count count, Drop drop) {
+  bool progressed = false;
+  std::size_t i = 0;
+  while (i < count(current) && attempts < max_attempts) {
+    Case candidate = drop(current, i);
+    ++attempts;
+    if (still_fails(candidate)) {
+      current = std::move(candidate);
+      ++dropped;
+      progressed = true;
+      // Keep i: the next element slid into this slot.
+    } else {
+      ++i;
+    }
+  }
+  return progressed;
+}
+
+}  // namespace
+
+Case drop_link(const Case& c, std::size_t index) {
+  Case out = c;
+  out.topology.links.erase(out.topology.links.begin() +
+                           static_cast<std::ptrdiff_t>(index));
+  const auto dropped_id = static_cast<std::int32_t>(index);
+  std::vector<Event> remapped;
+  remapped.reserve(out.plan.events.size());
+  for (Event event : out.plan.events) {
+    if (event_targets_link(event.kind)) {
+      if (event.target == dropped_id) continue;  // its link is gone
+      if (event.target > dropped_id) --event.target;
+    }
+    remapped.push_back(event);
+  }
+  out.plan.events = std::move(remapped);
+  return out;
+}
+
+Case shrink(const Case& failing, const ShrinkOracle& still_fails,
+            std::size_t max_attempts, ShrinkStats* stats) {
+  Case current = failing;
+  ShrinkStats local;
+  bool progressed = true;
+  while (progressed && local.oracle_calls < max_attempts) {
+    progressed = false;
+    progressed |= sweep(
+        current, still_fails, max_attempts, local.oracle_calls,
+        local.events_dropped,
+        [](const Case& c) { return c.plan.events.size(); }, drop_event);
+    progressed |= sweep(
+        current, still_fails, max_attempts, local.oracle_calls,
+        local.links_dropped,
+        [](const Case& c) { return c.topology.links.size(); },
+        [](const Case& c, std::size_t i) { return drop_link(c, i); });
+    progressed |= sweep(
+        current, still_fails, max_attempts, local.oracle_calls,
+        local.work_dropped, [](const Case& c) { return c.work.size(); },
+        drop_work);
+  }
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace droute::chaos

@@ -1,0 +1,48 @@
+// Greedy case minimization (ddmin-lite) for failing proptest cases.
+//
+// Given a failing Case and an oracle that reruns a candidate and reports
+// whether it still fails, shrink() repeatedly tries structural deletions and
+// keeps any that preserve the failure, in the order that minimizes the
+// reproduction fastest:
+//   1. chaos events  — drop one at a time (most cases need only one fault),
+//   2. links         — drop one directed link at a time, remapping the
+//                      surviving events' link targets (events aimed at a
+//                      dropped link are dropped with it),
+//   3. work items    — drop one at a time.
+// Passes repeat until a full sweep makes no progress (a fixpoint), bounded
+// by `max_attempts` oracle calls. The result is 1-minimal per pass: no
+// single remaining deletion of that class preserves the failure.
+//
+// shrink() is deterministic (no randomness; order is structural), so
+// shrinking the same case with the same oracle yields the same minimum —
+// and shrinking an already-shrunk case is a no-op (idempotence, tested).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/scenario.h"
+
+namespace droute::chaos {
+
+/// Returns true when the candidate case still reproduces the failure.
+/// Typically: [&](const Case& c) { return run_case(c).violated == prop; }.
+using ShrinkOracle = std::function<bool(const Case&)>;
+
+struct ShrinkStats {
+  std::size_t oracle_calls = 0;
+  std::size_t events_dropped = 0;
+  std::size_t links_dropped = 0;
+  std::size_t work_dropped = 0;
+};
+
+/// Removes directed link `index` from the topology and remaps/drops the
+/// plan's link-targeted events accordingly. Exposed for tests.
+Case drop_link(const Case& c, std::size_t index);
+
+/// Minimizes `failing` against `still_fails`. `failing` itself is assumed
+/// to fail (the oracle is not re-invoked on it).
+Case shrink(const Case& failing, const ShrinkOracle& still_fails,
+            std::size_t max_attempts = 500, ShrinkStats* stats = nullptr);
+
+}  // namespace droute::chaos

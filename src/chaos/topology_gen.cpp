@@ -1,0 +1,174 @@
+#include "chaos/topology_gen.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace droute::chaos {
+
+namespace {
+
+double log_uniform(util::Rng& rng, double lo, double hi) {
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+util::Result<net::Topology> GenTopology::build() const {
+  net::Topology::Builder builder;
+  for (int i = 0; i < ases; ++i) {
+    builder.add_as("as" + std::to_string(i));
+  }
+  for (const GenRelation& rel : relations) {
+    if (rel.a < 0 || rel.a >= ases || rel.b < 0 || rel.b >= ases) {
+      return util::Error::make("relation references undeclared AS");
+    }
+    builder.relate(rel.a, rel.b, rel.b_is_to_a);
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const GenNode& n = nodes[i];
+    if (n.as < 0 || n.as >= ases) {
+      return util::Error::make("node references undeclared AS");
+    }
+    // Built via += to dodge GCC 12's -Wrestrict false positive on
+    // `"literal" + std::to_string(...)` (libstdc++ PR 105651).
+    std::string name = "n";
+    name += std::to_string(i);
+    name += ".as";
+    name += std::to_string(n.as);
+    const geo::Coord coord{n.lat, n.lon};
+    if (n.host) {
+      builder.add_host(n.as, name, coord);
+    } else {
+      builder.add_router(n.as, name, coord);
+    }
+  }
+  for (const GenLink& l : links) {
+    if (l.src < 0 || static_cast<std::size_t>(l.src) >= nodes.size() ||
+        l.dst < 0 || static_cast<std::size_t>(l.dst) >= nodes.size()) {
+      return util::Error::make("link references undeclared node");
+    }
+    net::LinkOpts opts;
+    opts.policer_per_flow_mbps = l.policer_mbps;
+    builder.add_link(l.src, l.dst, l.capacity_mbps, l.delay_s, opts);
+  }
+  return std::move(builder).build();
+}
+
+std::vector<int> GenTopology::hosts() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].host) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+GenTopology random_topology(util::Rng& rng, const TopologySpec& spec) {
+  GenTopology topo;
+  topo.ases = static_cast<int>(
+      rng.uniform_int(spec.min_ases, std::max(spec.min_ases, spec.max_ases)));
+
+  // --- AS graph: provider tree + shortcuts + peers (acyclic by index). ---
+  auto related = [&topo](int a, int b) {
+    for (const GenRelation& rel : topo.relations) {
+      if ((rel.a == a && rel.b == b) || (rel.a == b && rel.b == a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int i = 1; i < topo.ases; ++i) {
+    const int provider = static_cast<int>(rng.uniform_int(0, i - 1));
+    // b_is_to_a seen from `provider`: AS i is its customer.
+    topo.relations.push_back({provider, i, net::AsRelation::kCustomer});
+  }
+  const int extra = static_cast<int>(
+      rng.uniform_int(0, std::max(0, spec.max_extra_provider_edges)));
+  for (int e = 0; e < extra && topo.ases > 2; ++e) {
+    const int customer = static_cast<int>(rng.uniform_int(2, topo.ases - 1));
+    const int provider = static_cast<int>(rng.uniform_int(0, customer - 1));
+    if (!related(provider, customer)) {
+      topo.relations.push_back({provider, customer, net::AsRelation::kCustomer});
+    }
+  }
+  const int peers =
+      static_cast<int>(rng.uniform_int(0, std::max(0, spec.max_peer_edges)));
+  for (int e = 0; e < peers && topo.ases > 1; ++e) {
+    const int a = static_cast<int>(rng.uniform_int(0, topo.ases - 1));
+    const int b = static_cast<int>(rng.uniform_int(0, topo.ases - 1));
+    if (a != b && !related(a, b)) {
+      topo.relations.push_back({a, b, net::AsRelation::kPeer});
+    }
+  }
+
+  // --- Nodes: 1-2 routers per AS, hosts hanging off routers. ---
+  std::vector<std::vector<int>> as_routers(
+      static_cast<std::size_t>(topo.ases));
+  auto random_coord = [&rng] {
+    return std::pair<double, double>{rng.uniform(-55.0, 65.0),
+                                     rng.uniform(-180.0, 180.0)};
+  };
+  for (int as = 0; as < topo.ases; ++as) {
+    const int routers = static_cast<int>(rng.uniform_int(1, 2));
+    const auto [lat, lon] = random_coord();
+    for (int r = 0; r < routers; ++r) {
+      as_routers[static_cast<std::size_t>(as)].push_back(
+          static_cast<int>(topo.nodes.size()));
+      topo.nodes.push_back(
+          {as, false, lat + rng.uniform(-1.0, 1.0),
+           lon + rng.uniform(-1.0, 1.0)});
+    }
+    const int hosts = static_cast<int>(rng.uniform_int(
+        spec.min_hosts_per_as,
+        std::max(spec.min_hosts_per_as, spec.max_hosts_per_as)));
+    for (int h = 0; h < hosts; ++h) {
+      topo.nodes.push_back(
+          {as, true, lat + rng.uniform(-2.0, 2.0),
+           lon + rng.uniform(-2.0, 2.0)});
+    }
+  }
+
+  auto add_duplex = [&topo](int a, int b, double capacity, double delay,
+                            double policer) {
+    topo.links.push_back({a, b, capacity, delay, policer});
+    topo.links.push_back({b, a, capacity, delay, policer});
+  };
+
+  // --- Intra-AS: router chain, hosts onto a random router. ---
+  for (int as = 0; as < topo.ases; ++as) {
+    const auto& routers = as_routers[static_cast<std::size_t>(as)];
+    for (std::size_t r = 1; r < routers.size(); ++r) {
+      add_duplex(routers[r - 1], routers[r],
+                 log_uniform(rng, 1000.0, 40000.0),
+                 rng.uniform(0.0001, 0.002), 0.0);
+    }
+  }
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n) {
+    if (!topo.nodes[n].host) continue;
+    const auto& routers =
+        as_routers[static_cast<std::size_t>(topo.nodes[n].as)];
+    const int attach = routers[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(routers.size()) - 1))];
+    add_duplex(static_cast<int>(n), attach,
+               log_uniform(rng, 100.0, 10000.0),
+               rng.uniform(0.0002, 0.003), 0.0);
+  }
+
+  // --- Inter-AS: one duplex gateway link per declared adjacency. ---
+  for (const GenRelation& rel : topo.relations) {
+    const auto& ra = as_routers[static_cast<std::size_t>(rel.a)];
+    const auto& rb = as_routers[static_cast<std::size_t>(rel.b)];
+    const int ga = ra[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ra.size()) - 1))];
+    const int gb = rb[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(rb.size()) - 1))];
+    const double policer = rng.chance(spec.policer_probability)
+                               ? rng.uniform(5.0, 50.0)
+                               : 0.0;
+    add_duplex(ga, gb, log_uniform(rng, 200.0, 20000.0),
+               rng.uniform(0.001, 0.04), policer);
+  }
+  return topo;
+}
+
+}  // namespace droute::chaos

@@ -1,0 +1,84 @@
+// Random valley-free topology generator for property-based testing.
+//
+// random_topology draws an explicit, serializable topology description
+// (GenTopology) from a util::Rng substream. The AS graph is a provider
+// tree (every AS above 0 picks a provider among lower-numbered ASes) plus
+// optional extra customer-provider shortcuts and peer edges — always
+// acyclic in the customer-provider relation, so BGP-lite always converges
+// and every selected path is valley-free by construction (the property
+// harness re-validates this after every routing churn, which is the point:
+// a violation means a routing bug, not a generator bug).
+//
+// GenTopology is the shrinkable unit: links can be dropped one at a time
+// (chaos::shrink) and the remainder rebuilt, so a minimal reproduction
+// carries only the links that matter. Node and link ids equal their index
+// in the description, which keeps chaos-event targets stable across
+// serialization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace droute::chaos {
+
+struct GenRelation {
+  int a = 0;
+  int b = 0;
+  net::AsRelation b_is_to_a = net::AsRelation::kCustomer;
+
+  friend bool operator==(const GenRelation&, const GenRelation&) = default;
+};
+
+struct GenNode {
+  int as = 0;
+  bool host = false;
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend bool operator==(const GenNode&, const GenNode&) = default;
+};
+
+struct GenLink {
+  int src = 0;  // node index
+  int dst = 0;
+  double capacity_mbps = 0.0;
+  double delay_s = 0.0;
+  double policer_mbps = 0.0;  // per-flow policer, 0 = none
+
+  friend bool operator==(const GenLink&, const GenLink&) = default;
+};
+
+struct GenTopology {
+  int ases = 0;
+  std::vector<GenRelation> relations;
+  std::vector<GenNode> nodes;  // node id == index
+  std::vector<GenLink> links;  // link id == index (directed entries)
+
+  /// Materializes a net::Topology (Builder + validate). Node and link ids
+  /// in the result equal the description indices.
+  [[nodiscard]] util::Result<net::Topology> build() const;
+
+  /// Indices of host nodes (workload endpoints).
+  std::vector<int> hosts() const;
+
+  friend bool operator==(const GenTopology&, const GenTopology&) = default;
+};
+
+struct TopologySpec {
+  int min_ases = 2;
+  int max_ases = 5;
+  int min_hosts_per_as = 1;
+  int max_hosts_per_as = 3;
+  int max_extra_provider_edges = 2;
+  int max_peer_edges = 2;
+  double policer_probability = 0.15;  // per inter-AS adjacency
+};
+
+/// Draws a topology; deterministic in `rng`'s state.
+GenTopology random_topology(util::Rng& rng, const TopologySpec& spec = {});
+
+}  // namespace droute::chaos

@@ -48,6 +48,13 @@ class StorageServer {
   /// Requests rejected with 429 so far (observability for tests/benches).
   std::uint64_t throttled_requests() const { return throttled_; }
 
+  /// Rewrites the request-throttle budget at runtime (chaos injection: a
+  /// 429 storm tightens it, calm restores it; 0 = unlimited). The sliding
+  /// window and Retry-After of the profile are unchanged.
+  void set_throttle(int max_requests_per_window) {
+    profile_.max_requests_per_window = max_requests_per_window;
+  }
+
   ProviderKind kind() const { return kind_; }
   const ApiProfile& profile() const { return profile_; }
 

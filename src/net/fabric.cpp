@@ -162,6 +162,11 @@ void Fabric::restore_link(LinkId link) {
   reallocate_and_reschedule();
 }
 
+void Fabric::reallocate_now() {
+  advance_to_now();
+  reallocate_and_reschedule();
+}
+
 double Fabric::current_rate_mbps(FlowId id) const {
   auto it = flows_.find(id);
   if (it == flows_.end()) return 0.0;

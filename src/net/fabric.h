@@ -108,6 +108,13 @@ class Fabric {
   /// Re-enables a previously failed link.
   void restore_link(LinkId link);
 
+  /// Re-derives the max-min allocation immediately. Call after an
+  /// out-of-band topology mutation that changes shared capacity (e.g.
+  /// Topology::set_link_capacity from a chaos plan): flows keep their
+  /// routes and per-flow caps; only the fair shares converge to the new
+  /// capacities. A no-op when nothing is active.
+  void reallocate_now();
+
   /// Current allocated rate of a flow in Mbps (0 if pending/unknown).
   double current_rate_mbps(FlowId id) const;
 

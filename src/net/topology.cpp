@@ -48,6 +48,28 @@ util::Status Topology::set_middlebox(NodeId id, double per_flow_mbps) {
   return util::Status::success();
 }
 
+util::Status Topology::set_link_capacity(LinkId id, double capacity_mbps) {
+  if (id < 0 || static_cast<std::size_t>(id) >= links_.size()) {
+    return util::Status::failure("set_link_capacity: bad link id");
+  }
+  if (capacity_mbps <= 0) {
+    return util::Status::failure("set_link_capacity: non-positive rate");
+  }
+  links_[static_cast<std::size_t>(id)].capacity_mbps = capacity_mbps;
+  return util::Status::success();
+}
+
+util::Status Topology::set_link_policer(LinkId id, double per_flow_mbps) {
+  if (id < 0 || static_cast<std::size_t>(id) >= links_.size()) {
+    return util::Status::failure("set_link_policer: bad link id");
+  }
+  if (per_flow_mbps < 0) {
+    return util::Status::failure("set_link_policer: negative rate");
+  }
+  links_[static_cast<std::size_t>(id)].policer_per_flow_mbps = per_flow_mbps;
+  return util::Status::success();
+}
+
 util::Status Topology::validate() const {
   for (const Node& n : nodes_) {
     if (n.as_id < 0 || static_cast<std::size_t>(n.as_id) >= ases_.size()) {

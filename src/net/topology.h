@@ -1,8 +1,11 @@
 // WAN topology: autonomous systems, nodes (hosts/routers), directed links.
 //
-// The topology is *static* during a simulation (links can be administratively
-// disabled for failure injection, which triggers re-routing, but never
-// resized). All dynamic state (flows, allocations) lives in net::Fabric.
+// The topology's *shape* is static during a simulation: nodes and links are
+// never added or removed. Link attributes may be administratively mutated
+// for fault injection — enabled/disabled (triggers re-routing), capacity and
+// policer rewrites (chaos::Injector; callers must poke
+// Fabric::reallocate_now() so in-flight allocations converge). All dynamic
+// state (flows, allocations) lives in net::Fabric.
 #pragma once
 
 #include <cstdint>
@@ -105,6 +108,15 @@ class Topology {
   /// Adjusts a node's per-flow middlebox ceiling at runtime (ablations:
   /// Science-DMZ firewall on/off). Affects flows started afterwards.
   [[nodiscard]] util::Status set_middlebox(NodeId id, double per_flow_mbps);
+
+  /// Rewrites a link's shared capacity at runtime (chaos injection: brownout
+  /// / upgrade). Requires a positive rate. Active flows keep their routes;
+  /// call Fabric::reallocate_now() afterwards so fair shares converge.
+  [[nodiscard]] util::Status set_link_capacity(LinkId id, double capacity_mbps);
+
+  /// Rewrites a link's per-flow policer rate at runtime (0 clears it).
+  /// Affects flow caps computed afterwards; in-flight flows keep theirs.
+  [[nodiscard]] util::Status set_link_policer(LinkId id, double per_flow_mbps);
 
   /// Topology-wide sanity checks (ids consistent, links connect declared
   /// nodes, inter-AS links have a declared relationship, etc).

@@ -98,4 +98,21 @@ Rng Rng::fork(std::uint64_t salt) {
   return child;
 }
 
+Rng Rng::split(std::uint64_t key) const {
+  // Hash the full 256-bit state together with the key through SplitMix64
+  // steps (const: the parent stream is not advanced). Each state word is
+  // folded through its own SplitMix64 round so that states differing in any
+  // word produce unrelated children.
+  SplitMix64 mixer(key * 0x9e3779b97f4a7c15ull);
+  std::uint64_t acc = mixer.next();
+  for (std::uint64_t word : s_) {
+    SplitMix64 fold(acc ^ word);
+    acc = fold.next();
+  }
+  SplitMix64 expand(acc);
+  Rng child(0);
+  for (auto& word : child.s_) word = expand.next();
+  return child;
+}
+
 }  // namespace droute::util

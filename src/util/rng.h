@@ -63,7 +63,17 @@ class Rng {
   bool chance(double p);
 
   /// Derive an independent child stream (e.g. one per simulation run).
+  /// Consumes one draw from this stream, so later forks differ.
   Rng fork(std::uint64_t salt);
+
+  /// Derive an independent child stream keyed by `key` WITHOUT advancing
+  /// this generator: the child is SplitMix64-expanded from a hash of the
+  /// current state and the key. Two generators split from the same state
+  /// with different keys are independent of each other and of every
+  /// subsequent parent draw — so a scenario can hand substreams to its
+  /// topology, workload, and chaos generators and adding a new generator
+  /// (a new key) never perturbs the existing ones' sequences.
+  Rng split(std::uint64_t key) const;
 
  private:
   std::array<std::uint64_t, 4> s_;

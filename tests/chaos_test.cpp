@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/injector.h"
+#include "chaos/plan.h"
+#include "chaos/topology_gen.h"
+#include "check/fabric_audit.h"
+#include "cloud/provider.h"
+#include "cloud/storage_server.h"
+#include "net/fabric.h"
+#include "net/routing.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace droute::chaos {
+namespace {
+
+// ------------------------------------------------------------------ plan ----
+
+TEST(Plan, EventKindNamesRoundTrip) {
+  const std::vector<EventKind> kinds{
+      EventKind::kLinkFail,         EventKind::kLinkRestore,
+      EventKind::kRouteWithdraw,    EventKind::kRouteAnnounce,
+      EventKind::kCapacityRewrite,  EventKind::kPolicerRewrite,
+      EventKind::kMiddleboxRewrite, EventKind::kFlowAbort,
+      EventKind::kThrottleStorm,    EventKind::kThrottleCalm,
+      EventKind::kNodeCrash,        EventKind::kNodeRecover,
+  };
+  for (EventKind kind : kinds) {
+    const std::string name = event_kind_name(kind);
+    EXPECT_NE(name, "unknown");
+    auto parsed = parse_event_kind(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(parse_event_kind("bogus").ok());
+}
+
+TEST(Plan, SerializationRoundTripsByteIdentical) {
+  util::Rng rng(2024);
+  PlanSpec spec;
+  spec.links = 12;
+  spec.nodes = 8;
+  spec.max_events = 10;
+  for (int i = 0; i < 20; ++i) {
+    const Plan plan = random_plan(rng, spec);
+    const std::string text = format_plan(plan);
+    auto parsed = parse_plan(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value(), plan);
+    // Reformatting the parsed plan reproduces the exact bytes — the
+    // invariant the replay corpus depends on.
+    EXPECT_EQ(format_plan(parsed.value()), text);
+  }
+}
+
+TEST(Plan, AwkwardDoublesSurviveRoundTrip) {
+  Plan plan;
+  plan.seed = 7;
+  plan.events.push_back({0.1, EventKind::kLinkFail, 3, 1.0 / 3.0});
+  plan.events.push_back({1e-17, EventKind::kCapacityRewrite, 0, 123456.789012345});
+  plan.events.push_back({86399.999999999993, EventKind::kThrottleStorm, 0, 2.0});
+  auto parsed = parse_plan(format_plan(plan));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), plan);
+}
+
+TEST(Plan, RandomPlanIsDeterministicAndSorted) {
+  PlanSpec spec;
+  spec.links = 6;
+  spec.nodes = 5;
+  util::Rng a(99);
+  util::Rng b(99);
+  const Plan first = random_plan(a, spec);
+  const Plan second = random_plan(b, spec);
+  EXPECT_EQ(first, second);
+  for (std::size_t i = 1; i < first.events.size(); ++i) {
+    EXPECT_LE(first.events[i - 1].at_s, first.events[i].at_s);
+  }
+}
+
+TEST(Plan, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_plan("event 1.0 link_fail").ok());       // arity
+  EXPECT_FALSE(parse_plan("event 1.0 nonsense 0 0").ok());    // kind
+  EXPECT_FALSE(parse_plan("gibberish 1 2 3").ok());           // keyword
+  EXPECT_TRUE(parse_plan("# comment only\n\n").ok());         // empty ok
+}
+
+TEST(Plan, KindClassifiersAgreeWithInjectorSemantics) {
+  EXPECT_TRUE(event_targets_link(EventKind::kLinkFail));
+  EXPECT_TRUE(event_targets_link(EventKind::kPolicerRewrite));
+  EXPECT_FALSE(event_targets_link(EventKind::kNodeCrash));
+  EXPECT_FALSE(event_targets_link(EventKind::kFlowAbort));
+  EXPECT_TRUE(event_churns_routes(EventKind::kRouteWithdraw));
+  EXPECT_TRUE(event_churns_routes(EventKind::kNodeCrash));
+  EXPECT_FALSE(event_churns_routes(EventKind::kCapacityRewrite));
+  EXPECT_FALSE(event_churns_routes(EventKind::kThrottleStorm));
+}
+
+// -------------------------------------------------------------- injector ----
+
+/// Two-AS world: host -- r0 ==(link pair)== r1 -- host, provider relation.
+struct SmallWorld {
+  net::Topology topo;
+  net::RouteTable routes{nullptr};
+  sim::Simulator simulator;
+  std::unique_ptr<net::Fabric> fabric;
+  cloud::StorageServer server{
+      cloud::ProviderKind::kGoogleDrive,
+      cloud::default_profile(cloud::ProviderKind::kGoogleDrive)};
+  net::NodeId h0, h1, r0, r1;
+  net::LinkId forward;  // r0 -> r1
+
+  SmallWorld() {
+    net::Topology::Builder builder;
+    const net::AsId as0 = builder.add_as("as0");
+    const net::AsId as1 = builder.add_as("as1");
+    builder.relate(as0, as1, net::AsRelation::kCustomer);
+    r0 = builder.add_router(as0, "r0", {49, -123});
+    r1 = builder.add_router(as1, "r1", {47, -122});
+    h0 = builder.add_host(as0, "h0", {49, -123});
+    h1 = builder.add_host(as1, "h1", {47, -122});
+    builder.add_duplex(h0, r0, 10000, 0.0005);
+    builder.add_duplex(h1, r1, 10000, 0.0005);
+    forward = builder.add_duplex(r0, r1, 100, 0.005);
+    auto built = std::move(builder).build();
+    EXPECT_TRUE(built.ok());
+    topo = std::move(built).value();
+    routes = net::RouteTable(&topo);
+    fabric = std::make_unique<net::Fabric>(&simulator, &topo, &routes);
+    server.set_clock([this] { return simulator.now(); });
+  }
+
+  Injector make_injector() {
+    return Injector({&simulator, fabric.get(), &topo, &routes, {&server}});
+  }
+};
+
+TEST(Injector, OutOfRangeTargetsAreSkippedNotFatal) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  injector.apply({0.0, EventKind::kLinkFail, 999, 0.0});
+  injector.apply({0.0, EventKind::kNodeCrash, -1, 0.0});
+  injector.apply({0.0, EventKind::kThrottleStorm, 5, 2.0});
+  EXPECT_EQ(injector.injected(), 0u);
+  EXPECT_EQ(injector.skipped(), 3u);
+}
+
+TEST(Injector, RouteWithdrawKeepsFlowsButLinkFailKillsThem) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  net::FlowOutcome outcome = net::FlowOutcome::kCompleted;
+  auto flow = world.fabric->start_flow(
+      world.h0, world.h1, 100 * util::kMB,
+      [&](const net::FlowStats& s) { outcome = s.outcome; });
+  ASSERT_TRUE(flow.ok());
+  world.simulator.run_until(0.5);
+
+  // BGP withdraw: the flow keeps flowing, new routes are denied.
+  injector.apply({0.5, EventKind::kRouteWithdraw, world.forward, 0.0});
+  EXPECT_EQ(world.fabric->active_flow_count(), 1u);
+  EXPECT_FALSE(world.routes.route(world.h0, world.h1).ok());
+
+  // Re-announce: routable again, flow still alive.
+  injector.apply({0.5, EventKind::kRouteAnnounce, world.forward, 0.0});
+  EXPECT_TRUE(world.routes.route(world.h0, world.h1).ok());
+  EXPECT_EQ(world.fabric->active_flow_count(), 1u);
+
+  // Physical failure: the flow dies with kLinkFailed.
+  injector.apply({0.5, EventKind::kLinkFail, world.forward, 0.0});
+  EXPECT_EQ(world.fabric->active_flow_count(), 0u);
+  EXPECT_EQ(outcome, net::FlowOutcome::kLinkFailed);
+  EXPECT_EQ(injector.injected(), 3u);
+}
+
+TEST(Injector, CapacityRewriteReallocatesLiveFlows) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  net::FlowOptions options;
+  options.charge_slow_start = false;
+  auto flow = world.fabric->start_flow(world.h0, world.h1, 100 * util::kMB,
+                                       nullptr, options);
+  ASSERT_TRUE(flow.ok());
+  world.simulator.run_until(0.5);
+  EXPECT_NEAR(world.fabric->current_rate_mbps(flow.value()), 100.0, 1.0);
+  injector.apply({0.5, EventKind::kCapacityRewrite, world.forward, 40.0});
+  EXPECT_NEAR(world.fabric->current_rate_mbps(flow.value()), 40.0, 0.5);
+  const auto audit = check::audit_fabric(*world.fabric);
+  EXPECT_TRUE(audit.ok()) << audit.error().message;
+  injector.apply({0.5, EventKind::kCapacityRewrite, world.forward, 0.0});
+  EXPECT_EQ(injector.skipped(), 1u);  // non-positive capacity refused
+}
+
+TEST(Injector, NodeCrashFailsAdjacentLinksAndRecoverRestores) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  injector.apply({0.0, EventKind::kNodeCrash, world.r1, 0.0});
+  EXPECT_FALSE(world.routes.route(world.h0, world.h1).ok());
+  injector.apply({0.0, EventKind::kNodeRecover, world.r1, 0.0});
+  EXPECT_TRUE(world.routes.route(world.h0, world.h1).ok());
+}
+
+TEST(Injector, ThrottleStormTightensServerBudgetAndCalmClears) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  injector.apply({0.0, EventKind::kThrottleStorm, 0, 2.0});
+  EXPECT_EQ(world.server.profile().max_requests_per_window, 2);
+  injector.apply({0.0, EventKind::kThrottleCalm, 0, 0.0});
+  EXPECT_EQ(world.server.profile().max_requests_per_window, 0);
+}
+
+TEST(Injector, ArmedPlanFiresInSimTimeWithPostApplyHook) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  Plan plan;
+  plan.events.push_back({1.0, EventKind::kPolicerRewrite, world.forward, 25.0});
+  plan.events.push_back({2.0, EventKind::kMiddleboxRewrite, world.r1, 50.0});
+  std::vector<double> hook_times;
+  injector.set_post_apply([&](const Event&) {
+    hook_times.push_back(world.simulator.now());
+  });
+  injector.arm(plan);
+  world.simulator.run();
+  ASSERT_EQ(hook_times.size(), 2u);
+  EXPECT_NEAR(hook_times[0], 1.0, 1e-9);
+  EXPECT_NEAR(hook_times[1], 2.0, 1e-9);
+  EXPECT_NEAR(world.topo.link(world.forward).policer_per_flow_mbps, 25.0, 1e-12);
+  EXPECT_NEAR(world.topo.node(world.r1).middlebox_per_flow_mbps, 50.0, 1e-12);
+}
+
+// ---------------------------------------------------------- topology gen ----
+
+TEST(TopologyGen, GeneratedTopologiesAlwaysBuild) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed);
+    const GenTopology description = random_topology(rng, {});
+    auto built = description.build();
+    ASSERT_TRUE(built.ok()) << "seed " << seed << ": "
+                            << built.error().message;
+    EXPECT_EQ(built.value().node_count(), description.nodes.size());
+    EXPECT_EQ(built.value().link_count(), description.links.size());
+    EXPECT_GE(description.hosts().size(), 2u);
+  }
+}
+
+TEST(TopologyGen, DeterministicPerStream) {
+  util::Rng a(5);
+  util::Rng b(5);
+  EXPECT_EQ(random_topology(a, {}), random_topology(b, {}));
+}
+
+}  // namespace
+}  // namespace droute::chaos

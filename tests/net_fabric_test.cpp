@@ -386,5 +386,82 @@ TEST(Fabric, LinkLoadsEmptyWhenIdle) {
   EXPECT_TRUE(world.fabric->link_loads().empty());
 }
 
+// --- fault-hook edges (chaos::Injector leans on these being total) ---------
+
+TEST(Fabric, FailLinkWithZeroActiveFlowsIsSafe) {
+  Dumbbell world(100.0);
+  world.fabric->fail_link(world.shared);  // nothing riding it
+  EXPECT_EQ(world.fabric->active_flow_count(), 0u);
+  EXPECT_FALSE(world.fabric
+                   ->start_flow(world.a[0], world.b[0], util::kMB, nullptr)
+                   .ok());
+  world.fabric->restore_link(world.shared);
+  FlowOutcome outcome = FlowOutcome::kAborted;
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], util::kMB,
+                               [&](const FlowStats& s) { outcome = s.outcome; })
+                  .ok());
+  world.simulator.run();
+  EXPECT_EQ(outcome, FlowOutcome::kCompleted);
+  world.audit();
+  world.audit_drained();
+}
+
+TEST(Fabric, DoubleAbortFiresCallbackOnce) {
+  Dumbbell world(100.0);
+  int calls = 0;
+  auto flow = world.fabric->start_flow(
+      world.a[0], world.b[0], 100 * util::kMB,
+      [&](const FlowStats& s) {
+        ++calls;
+        EXPECT_EQ(s.outcome, FlowOutcome::kAborted);
+      });
+  ASSERT_TRUE(flow.ok());
+  world.simulator.run_until(1.0);
+  world.fabric->abort_flow(flow.value());
+  world.fabric->abort_flow(flow.value());  // finished flow: documented no-op
+  world.fabric->abort_flow(99999);         // unknown id: also a no-op
+  world.simulator.run();
+  EXPECT_EQ(calls, 1);
+  world.audit();
+  world.audit_drained();
+}
+
+TEST(Fabric, RestoreBeforeFailIsANoOp) {
+  Dumbbell world(100.0);
+  world.fabric->restore_link(world.shared);  // never failed
+  FlowOutcome outcome = FlowOutcome::kAborted;
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], util::kMB,
+                               [&](const FlowStats& s) { outcome = s.outcome; })
+                  .ok());
+  world.simulator.run();
+  EXPECT_EQ(outcome, FlowOutcome::kCompleted);
+  world.audit();
+  world.audit_drained();
+}
+
+TEST(Fabric, CapacityRewriteMidFlowConverges) {
+  Dumbbell world(100.0);
+  FlowStats finished;
+  FlowOptions options;
+  options.charge_slow_start = false;
+  auto flow = world.fabric->start_flow(
+      world.a[0], world.b[0], 100 * util::kMB,
+      [&](const FlowStats& s) { finished = s; }, options);
+  ASSERT_TRUE(flow.ok());
+  world.simulator.run_until(4.0);  // halfway through the 8 s transfer
+  const auto status = world.topo.set_link_capacity(world.shared, 50.0);
+  ASSERT_TRUE(status.ok());
+  world.fabric->reallocate_now();
+  EXPECT_NEAR(world.fabric->current_rate_mbps(flow.value()), 50.0, 0.5);
+  world.simulator.run();
+  // First half at 100 Mbps (4 s in), remaining 50 MB at 50 Mbps = 8 s.
+  EXPECT_EQ(finished.outcome, FlowOutcome::kCompleted);
+  EXPECT_NEAR(finished.duration_s(), 12.0, 0.1);
+  world.audit();
+  world.audit_drained();
+}
+
 }  // namespace
 }  // namespace droute::net

@@ -28,6 +28,14 @@ Rules, all scoped to src/:
                 structs threaded through callbacks are the pattern this
                 repo migrated away from.
 
+One rule is scoped to tests/corpus/ instead:
+
+  corpus-header every checked-in replay case (tests/corpus/*.case) opens
+                with provenance headers: `# seed: N` (matching its `case N`
+                body line) and `# violated: <property>` naming the property
+                the case was minimized against (DESIGN.md §11). A corpus
+                without provenance can't be triaged when it regresses.
+
 A line can waive one rule with an inline marker, stating the reason:
     ... // lint: allow(raw-new) — private ctor, owned by unique_ptr
 
@@ -75,6 +83,12 @@ METRIC_CALL_RE = re.compile(
 )
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
 HISTOGRAM_UNIT_SUFFIXES = ("_s", "_bytes", "_mbps", "_ratio")
+
+# Replay-corpus provenance headers (written by proptest's shrinker; kept by
+# hand-authored cases too). `violated` names a run_case property or "none".
+CORPUS_SEED_RE = re.compile(r"^#\s*seed:\s*(?P<seed>\d+)\s*$")
+CORPUS_VIOLATED_RE = re.compile(r"^#\s*violated:\s*[a-z][a-z0-9_]*\s*$")
+CORPUS_CASE_RE = re.compile(r"^case\s+(?P<seed>\d+)\s*$")
 
 
 def strip_code(line: str) -> str:
@@ -263,11 +277,48 @@ class Linter:
                     "Result/Status-returning declaration lacks [[nodiscard]]",
                 )
 
+    def check_corpus_case(self, path: Path) -> None:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header_seed = None
+        body_seed = None
+        has_violated = False
+        for line in lines:
+            if m := CORPUS_SEED_RE.match(line):
+                header_seed = m.group("seed")
+            elif CORPUS_VIOLATED_RE.match(line):
+                has_violated = True
+            elif m := CORPUS_CASE_RE.match(line):
+                body_seed = m.group("seed")
+        if header_seed is None:
+            self.report(
+                path, 1, "corpus-header",
+                "replay case is missing its `# seed: N` provenance header",
+            )
+        if not has_violated:
+            self.report(
+                path, 1, "corpus-header",
+                "replay case is missing its `# violated: <property>` header "
+                "(use `none` for hand-written cases)",
+            )
+        if (
+            header_seed is not None
+            and body_seed is not None
+            and header_seed != body_seed
+        ):
+            self.report(
+                path, 1, "corpus-header",
+                f"`# seed: {header_seed}` disagrees with `case {body_seed}`",
+            )
+
     def run(self) -> int:
         src = self.root / "src"
         for path in sorted(src.rglob("*")):
             if path.suffix in (".h", ".cpp"):
                 self.lint_file(path)
+        corpus = self.root / "tests" / "corpus"
+        if corpus.is_dir():
+            for path in sorted(corpus.glob("*.case")):
+                self.check_corpus_case(path)
         if self.violations:
             print(f"lint: {len(self.violations)} violation(s)")
             for v in self.violations:
