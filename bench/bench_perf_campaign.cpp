@@ -1,0 +1,140 @@
+// Macro perf cases over the calibrated scenario stack -> BENCH_campaign.json.
+//
+// These time whole subsystems end to end: the paper's measurement campaign,
+// scaled fleets of concurrent uploads inside one World (10x and 100x the
+// paper's ~6 concurrent flows), and the chaos proptest pipeline. Together
+// with the fabric micro cases they pin the perf trajectory of the repo's
+// two hot loops: water-filling and the event queue.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "cloud/provider.h"
+#include "harness.h"
+#include "measure/campaign.h"
+#include "scenario/north_america.h"
+#include "util/units.h"
+
+namespace droute::bench {
+namespace {
+
+// Starts `fleet_flows` concurrent uploads spread over every client x
+// provider pair of a fresh calibrated World and runs the simulator until all
+// of them drain. Exercises the incremental allocator on the paper topology
+// (shared bottlenecks, policers, live cross traffic) rather than synthetic
+// pods.
+void run_fleet(std::uint64_t seed, int fleet_flows) {
+  scenario::WorldConfig config;
+  config.seed = seed;
+  auto world = scenario::World::create(config);
+  // Cross-traffic warm-up, same budget as run_upload's internal warm-up.
+  world->simulator().run_until(config.warmup_s);
+
+  const std::vector<scenario::Client> clients = scenario::all_clients();
+  const std::vector<cloud::ProviderKind> providers = cloud::all_providers();
+  net::FlowOptions options;
+  options.charge_slow_start = false;
+  options.label = "bench.fleet";
+  auto remaining = std::make_shared<int>(fleet_flows);
+  for (int i = 0; i < fleet_flows; ++i) {
+    const net::NodeId src =
+        world->client_node(clients[static_cast<std::size_t>(i) %
+                                   clients.size()]);
+    const net::NodeId dst = world->provider_node(
+        providers[(static_cast<std::size_t>(i) / clients.size()) %
+                  providers.size()]);
+    const std::uint64_t bytes = (10 + 5 * (i % 7)) * util::kMB;
+    auto flow = world->fabric().start_flow(
+        src, dst, bytes, [remaining](const net::FlowStats&) { --*remaining; },
+        options);
+    if (!flow.ok()) {
+      std::fprintf(stderr, "fleet start_flow failed: %s\n",
+                   flow.error().message.c_str());
+      std::exit(1);
+    }
+  }
+  // Cross-traffic sources schedule events forever, so the queue never
+  // drains; advance in slices until the fleet itself completes.
+  double horizon_s = config.warmup_s;
+  while (*remaining > 0) {
+    horizon_s += 60.0;
+    if (horizon_s > 1e6) {
+      std::fprintf(stderr, "fleet stalled with %d flow(s) unfinished\n",
+                   *remaining);
+      std::exit(1);
+    }
+    world->simulator().run_until(horizon_s);
+  }
+}
+
+DROUTE_BENCH(paper_campaign, "ms") {
+  // The paper's Sec II protocol end to end: UBC -> Google Drive over all
+  // three route choices. Quick mode trims the grid to one cell per route.
+  const std::vector<std::uint64_t> sizes =
+      ctx.quick() ? std::vector<std::uint64_t>{10 * util::kMB}
+                  : scenario::paper_file_sizes_bytes();
+  measure::Protocol protocol;
+  if (ctx.quick()) {
+    protocol.total_runs = 2;
+    protocol.keep_last = 1;
+  }
+  auto campaign = std::make_shared<measure::Campaign>(2016);
+  for (const scenario::RouteChoice route : scenario::all_routes()) {
+    campaign->add_route(scenario::route_name(route),
+                        scenario::make_transfer_fn(
+                            scenario::Client::kUBC,
+                            cloud::ProviderKind::kGoogleDrive, route));
+  }
+  const double cells =
+      static_cast<double>(sizes.size() * campaign->route_keys().size());
+  ctx.set_events(cells * protocol.total_runs);  // one event per measured run
+  ctx.extra("grid_cells", cells);
+  ctx.set_work([campaign, sizes, protocol] {
+    const auto grid = campaign->run_grid(sizes, protocol, /*pool=*/nullptr);
+    if (grid.empty()) std::exit(1);
+  });
+}
+
+DROUTE_BENCH(fleet_10x, "ms") {
+  const int fleet_flows = 60;  // 10x the paper's ~6 concurrent flows
+  ctx.set_events(fleet_flows);
+  ctx.extra("fleet_flows", fleet_flows);
+  ctx.set_work([fleet_flows] { run_fleet(2016, fleet_flows); });
+}
+
+DROUTE_BENCH(fleet_100x, "ms") {
+  const int fleet_flows = ctx.quick() ? 60 : 600;
+  ctx.set_events(fleet_flows);
+  ctx.extra("fleet_flows", fleet_flows);
+  ctx.set_work([fleet_flows] { run_fleet(2016, fleet_flows); });
+}
+
+DROUTE_BENCH(proptest_throughput, "ms") {
+  // Chaos pipeline throughput: generate + run random cases, the inner loop
+  // of the fuzz/shrink workflow. Events = completed scenario runs.
+  const int cases = ctx.quick() ? 3 : 40;
+  ctx.set_events(cases);
+  ctx.set_work([cases] {
+    for (int i = 0; i < cases; ++i) {
+      const chaos::Case c =
+          chaos::random_case(1000 + static_cast<std::uint64_t>(i));
+      const chaos::RunReport report = chaos::run_case(c);
+      if (!report.ok()) {
+        std::fprintf(stderr, "proptest case seed=%d violated '%s': %s\n",
+                     1000 + i, report.violated.c_str(),
+                     report.detail.c_str());
+        std::exit(1);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace droute::bench
+
+int main(int argc, char** argv) {
+  return droute::bench::bench_main(argc, argv, "BENCH_campaign.json");
+}

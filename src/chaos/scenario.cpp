@@ -217,7 +217,9 @@ sim::Task<void> drive_item(Stack stack, WorkItem item, WorkOutcome* out) {
 
 }  // namespace
 
-RunReport run_case(const Case& c) {
+RunReport run_case(const Case& c) { return run_case(c, RunOptions{}); }
+
+RunReport run_case(const Case& c, const RunOptions& options) {
   RunReport report;
   auto fail = [&report](const std::string& property,
                         const std::string& detail) {
@@ -238,6 +240,9 @@ RunReport run_case(const Case& c) {
   check::SimAuditor auditor(&simulator);
   net::RouteTable routes(&topo);
   net::Fabric fabric(&simulator, &topo, &routes);
+  if (options.full_recompute) {
+    fabric.set_alloc_mode(net::Fabric::AllocMode::kFullRecompute);
+  }
   cloud::StorageServer server(
       cloud::ProviderKind::kGoogleDrive,
       cloud::default_profile(cloud::ProviderKind::kGoogleDrive));

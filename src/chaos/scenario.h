@@ -122,8 +122,18 @@ inline constexpr double kDetourIdentitySlack = 1e-6;
 /// gets this much more simulated time before stragglers are cancelled.
 inline constexpr double kRunAllowanceS = 3600.0;
 
+/// Knobs orthogonal to the case itself — never serialized, never shrunk, so
+/// a seed still identifies the case under any options.
+struct RunOptions {
+  /// Drive the fabric in the retained full-recompute reference mode instead
+  /// of the default incremental allocator. The differential equivalence
+  /// suite runs every case both ways and holds the digests byte-equal.
+  bool full_recompute = false;
+};
+
 /// Builds the stack, runs the case to quiescence, checks every property.
-/// Deterministic: same case, same report (including the digest).
+/// Deterministic: same case + same options, same report (incl. the digest).
+RunReport run_case(const Case& c, const RunOptions& options);
 RunReport run_case(const Case& c);
 
 }  // namespace droute::chaos

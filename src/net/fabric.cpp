@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "check/contract.h"
 #include "obs/recorder.h"
@@ -16,6 +15,8 @@ namespace {
 // Completion tolerance: half a byte absorbs fluid-model rounding.
 constexpr double kByteEps = 0.5;
 constexpr double kRateEps = 1e-6;  // bytes/sec
+
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
 
 // A flow counts as finished once its residue would drain within a
 // nanosecond: scheduling an event that close to `now` can round to exactly
@@ -34,10 +35,16 @@ Fabric::Fabric(sim::Simulator* simulator, Topology* topo, RouteTable* routes)
   obs_flows_failed_ = obs::counter("net.flows_failed_total");
   obs_flows_policer_capped_ = obs::counter("net.flows_policer_capped_total");
   obs_realloc_rounds_ = obs::counter("net.realloc_rounds_total");
+  obs_realloc_components_ = obs::counter("net.realloc_components_total");
+  obs_realloc_skipped_ = obs::counter("fabric.realloc_skipped_total");
   obs_flow_duration_ =
       obs::histogram("net.flow_duration_s", obs::duration_bounds_s());
   obs_link_utilization_ =
       obs::histogram("net.link_utilization_ratio", obs::ratio_bounds());
+  // Link ids are dense topology indices; size the per-link table up front
+  // so attach never regrows it mid-simulation (late-added links still grow
+  // it lazily).
+  links_.resize(topo_->link_count());
 }
 
 util::Result<double> Fabric::rtt_s(NodeId a, NodeId b) const {
@@ -49,6 +56,11 @@ util::Result<double> Fabric::rtt_s(NodeId a, NodeId b) const {
          routes_->one_way_delay_s(back.value()) + base_rtt_s_;
 }
 
+std::uint32_t Fabric::slot_of(FlowId id) const {
+  const auto it = slot_index_.find(id);
+  return it == slot_index_.end() ? kNoSlot : it->second;
+}
+
 util::Result<FlowId> Fabric::start_flow(NodeId src, NodeId dst,
                                         std::uint64_t bytes,
                                         CompletionFn on_complete,
@@ -58,8 +70,6 @@ util::Result<FlowId> Fabric::start_flow(NodeId src, NodeId dst,
   if (!route.ok()) return util::Error{route.error()};
   auto rtt = rtt_s(src, dst);
   if (!rtt.ok()) return util::Error{rtt.error()};
-
-  advance_to_now();
 
   const double loss = routes_->path_loss(route.value());
   const double policer = routes_->min_policer_mbps(route.value());
@@ -81,7 +91,20 @@ util::Result<FlowId> Fabric::start_flow(NodeId src, NodeId dst,
   }
 
   const FlowId id = next_flow_id_++;
-  Flow flow;
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& cell = slots_[slot];
+  DROUTE_CHECK(cell.id == 0, "slot reuse of a live flow");
+  cell.id = id;
+  Flow& flow = cell.flow;
+  flow.stats = FlowStats{};
   flow.stats.id = id;
   flow.stats.src = src;
   flow.stats.dst = dst;
@@ -92,98 +115,141 @@ util::Result<FlowId> Fabric::start_flow(NodeId src, NodeId dst,
   flow.stats.route = std::move(route).value();
   flow.on_complete = std::move(on_complete);
   flow.remaining_bytes = static_cast<double>(bytes);
+  flow.last_advance_s = simulator_->now();
+  flow.rate_bps = 0.0;
   flow.cap_bps = util::mbps_to_bytes_per_sec(cap_mbps);
+  flow.activated = false;
+  flow.activation_event = sim::EventId{};
+  flow.link_pos.clear();
+
+  slot_index_.emplace(id, slot);
+  ++live_flows_;
+  submitted_bytes_ += bytes;
 
   const double ss_delay =
       options.charge_slow_start
           ? slow_start_delay_s(rtt.value(), cap_mbps, options.tcp)
           : 0.0;
-  auto [it, inserted] = flows_.emplace(id, std::move(flow));
-  DROUTE_CHECK(inserted, "duplicate flow id");
-  submitted_bytes_ += bytes;
   if (ss_delay > 0.0) {
-    it->second.activation_event = simulator_->schedule_in(ss_delay, [this, id] {
-      advance_to_now();
-      auto fit = flows_.find(id);
-      if (fit == flows_.end()) return;  // aborted during slow start
-      fit->second.activated = true;
-      reallocate_and_reschedule();
+    flow.activation_event = simulator_->schedule_in(ss_delay, [this, id] {
+      const std::uint32_t s = slot_of(id);
+      if (s == kNoSlot) return;  // aborted during slow start
+      slots_[s].flow.activated = true;
+      attach_to_links(s);
+      reallocate_and_reschedule({s});
     });
+    // The pending flow consumes nothing until activation: no component is
+    // dirtied, no completion can move.
   } else {
-    it->second.activated = true;
+    flow.activated = true;
+    attach_to_links(slot);
+    reallocate_and_reschedule({slot});
   }
-  reallocate_and_reschedule();
   return id;
 }
 
 void Fabric::abort_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  advance_to_now();
-  Flow flow = std::move(it->second);
-  flows_.erase(it);
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) return;
+  advance_flow(slots_[slot].flow, slots_[slot].flow.rate_bps);
+  std::vector<std::uint32_t> seeds;
+  if (slots_[slot].flow.activated) {
+    seeds = flows_on_links(slots_[slot].flow.stats.route);
+  }
+  Flow flow = extract_flow(slot);
   if (flow.activation_event.valid()) simulator_->cancel(flow.activation_event);
-  reallocate_and_reschedule();
+  reallocate_and_reschedule(seeds);
   finish(std::move(flow), FlowOutcome::kAborted);
 }
 
 void Fabric::fail_link(LinkId link) {
-  advance_to_now();
   const auto status = topo_->set_link_enabled(link, false);
   DROUTE_CHECK(status.ok(), "fail_link: unknown link");
   routes_->invalidate();
-  std::vector<FlowId> victims;
-  for (const auto& [id, flow] : flows_) {
-    const auto& links = flow.stats.route.links;
+  std::vector<std::pair<FlowId, std::uint32_t>> victims;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].id == 0) continue;
+    const auto& links = slots_[slot].flow.stats.route.links;
     if (std::find(links.begin(), links.end(), link) != links.end()) {
-      victims.push_back(id);
+      victims.emplace_back(slots_[slot].id, slot);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  // Survivors sharing a link with any victim get more headroom; collect
+  // them as dirty seeds before the victims leave the adjacency lists.
+  std::vector<std::uint32_t> seeds;
+  for (const auto& [vid, vslot] : victims) {
+    if (!slots_[vslot].flow.activated) continue;
+    for (const LinkId lid : slots_[vslot].flow.stats.route.links) {
+      for (const LinkFlowRef& ref : links_[lid].flows) seeds.push_back(ref.slot);
     }
   }
   std::vector<Flow> failed;
   failed.reserve(victims.size());
-  for (FlowId id : victims) {
-    auto it = flows_.find(id);
-    Flow flow = std::move(it->second);
-    flows_.erase(it);
+  for (const auto& [vid, vslot] : victims) {
+    advance_flow(slots_[vslot].flow, slots_[vslot].flow.rate_bps);
+    Flow flow = extract_flow(vslot);
     if (flow.activation_event.valid()) {
       simulator_->cancel(flow.activation_event);
     }
     failed.push_back(std::move(flow));
   }
-  reallocate_and_reschedule();
+  reallocate_and_reschedule(seeds);
   for (auto& flow : failed) finish(std::move(flow), FlowOutcome::kLinkFailed);
 }
 
 void Fabric::restore_link(LinkId link) {
-  advance_to_now();
   const auto status = topo_->set_link_enabled(link, true);
   DROUTE_CHECK(status.ok(), "restore_link: unknown link");
   routes_->invalidate();
-  reallocate_and_reschedule();
+  // In-flight flows keep their routes, so no allocation input changed — the
+  // restored link carries no flows (they all failed with it). Only new
+  // flows see it, via the invalidated route tables.
+  reallocate_and_reschedule({});
 }
 
 void Fabric::reallocate_now() {
-  advance_to_now();
-  reallocate_and_reschedule();
+  if (live_flows_ == 0) {
+    // Nothing allocated and nothing scheduled (a pending completion implies
+    // a live flow): the recompute would be a pure no-op. Policer/capacity
+    // rewrite hooks hit this constantly between campaign runs.
+    ++realloc_skipped_;
+    obs::add(obs_realloc_skipped_);
+    return;
+  }
+  // The caller mutated the topology out-of-band (capacity/policer rewrite);
+  // the fabric cannot see which links changed, so every component is dirty.
+  reallocate_and_reschedule({}, /*force_full=*/true);
 }
 
 double Fabric::current_rate_mbps(FlowId id) const {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return 0.0;
-  return util::bytes_per_sec_to_mbps(it->second.rate_bps);
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) return 0.0;
+  return util::bytes_per_sec_to_mbps(slots_[slot].flow.rate_bps);
 }
 
 double Fabric::moved_bytes() const {
   double moved = finished_moved_bytes_;
-  for (const auto& [id, flow] : flows_) {
-    moved += static_cast<double>(flow.stats.bytes) - flow.remaining_bytes;
+  for (const Slot& cell : slots_) {
+    if (cell.id == 0) continue;
+    moved += static_cast<double>(cell.flow.stats.bytes) -
+             live_remaining(cell.flow);
   }
   return moved;
 }
 
 std::vector<Fabric::LinkLoad> Fabric::link_loads() const {
+  // Accumulate in flow-id order (stable, matches the historical std::map
+  // walk) so per-link sums are reproducible run to run.
+  std::vector<std::pair<FlowId, std::uint32_t>> order;
+  order.reserve(live_flows_);
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].id != 0) order.emplace_back(slots_[slot].id, slot);
+  }
+  std::sort(order.begin(), order.end());
   std::map<LinkId, LinkLoad> loads;
-  for (const auto& [id, flow] : flows_) {
+  for (const auto& [id, slot] : order) {
+    const Flow& flow = slots_[slot].flow;
     if (!flow.activated) continue;
     for (LinkId lid : flow.stats.route.links) {
       LinkLoad& load = loads[lid];
@@ -199,132 +265,312 @@ std::vector<Fabric::LinkLoad> Fabric::link_loads() const {
   return out;
 }
 
-void Fabric::advance_to_now() {
+void Fabric::advance_flow(Flow& flow, double rate_bps) const {
   const sim::Time now = simulator_->now();
-  const double dt = now - last_advance_;
+  const double dt = now - flow.last_advance_s;
   DROUTE_CHECK(dt >= -1e-12, "fabric clock went backwards");
   if (dt > 0.0) {
-    for (auto& [id, flow] : flows_) {
-      flow.remaining_bytes =
-          std::max(0.0, flow.remaining_bytes - flow.rate_bps * dt);
-    }
+    flow.remaining_bytes =
+        std::max(0.0, flow.remaining_bytes - rate_bps * dt);
   }
-  last_advance_ = now;
+  flow.last_advance_s = now;
 }
 
-void Fabric::reallocate_and_reschedule() {
+double Fabric::live_remaining(const Flow& flow) const {
+  const double dt = simulator_->now() - flow.last_advance_s;
+  if (dt <= 0.0) return flow.remaining_bytes;
+  return std::max(0.0, flow.remaining_bytes - flow.rate_bps * dt);
+}
+
+void Fabric::push_finish(std::uint32_t slot) {
+  Slot& cell = slots_[slot];
+  ++cell.gen;  // supersede whatever entry is queued for this slot
+  const Flow& flow = cell.flow;
+  DROUTE_CHECK(flow.last_advance_s == simulator_->now(),
+               "finish keyed from a stale remaining");
+  double finish_s = std::numeric_limits<double>::infinity();
+  if (flow.rate_bps > kRateEps) {
+    finish_s = simulator_->now() +
+               std::max(0.0, flow.remaining_bytes - kByteEps) / flow.rate_bps;
+  } else if (flow.activated && drained(flow.remaining_bytes, 0.0)) {
+    finish_s = simulator_->now();  // already done, just needs the event
+  }
+  if (std::isfinite(finish_s)) {
+    finish_heap_.push(FinishEntry{finish_s, slot, cell.gen});
+  }
+}
+
+void Fabric::resync_completion_event() {
+  while (!finish_heap_.empty()) {
+    const FinishEntry& top = finish_heap_.top();
+    if (slots_[top.slot].id != 0 && slots_[top.slot].gen == top.gen) break;
+    finish_heap_.pop();
+  }
+  const sim::Time want =
+      finish_heap_.empty() ? sim::kTimeInfinity : finish_heap_.top().finish_s;
+  if (want == scheduled_finish_) return;
+  if (completion_event_.valid()) {
+    simulator_->cancel(completion_event_);
+    completion_event_ = sim::EventId{};
+  }
+  scheduled_finish_ = want;
+  if (std::isfinite(want)) {
+    completion_event_ =
+        simulator_->schedule_at(want, [this] { on_completion_event(); });
+  }
+}
+
+void Fabric::attach_to_links(std::uint32_t slot) {
+  Flow& flow = slots_[slot].flow;
+  const auto& route_links = flow.stats.route.links;
+  flow.link_pos.resize(route_links.size());
+  for (std::uint32_t i = 0; i < route_links.size(); ++i) {
+    const LinkId lid = route_links[i];
+    if (static_cast<std::size_t>(lid) >= links_.size()) {
+      links_.resize(static_cast<std::size_t>(lid) + 1);
+    }
+    flow.link_pos[i] = static_cast<std::uint32_t>(links_[lid].flows.size());
+    links_[lid].flows.push_back(LinkFlowRef{slot, i});
+  }
+}
+
+void Fabric::detach_from_links(std::uint32_t slot) {
+  Flow& flow = slots_[slot].flow;
+  const auto& route_links = flow.stats.route.links;
+  for (std::uint32_t i = 0; i < route_links.size(); ++i) {
+    auto& refs = links_[route_links[i]].flows;
+    const std::uint32_t pos = flow.link_pos[i];
+    DROUTE_CHECK(pos < refs.size() && refs[pos].slot == slot &&
+                     refs[pos].route_idx == i,
+                 "link adjacency out of sync");
+    refs[pos] = refs.back();
+    refs.pop_back();
+    if (pos < refs.size()) {
+      const LinkFlowRef moved = refs[pos];
+      slots_[moved.slot].flow.link_pos[moved.route_idx] = pos;
+    }
+  }
+  flow.link_pos.clear();
+}
+
+Fabric::Flow Fabric::extract_flow(std::uint32_t slot) {
+  Slot& cell = slots_[slot];
+  DROUTE_CHECK(cell.id != 0, "extract of a free slot");
+  ++cell.gen;  // orphan any queued finish entry before the slot is reused
+  if (cell.flow.activated) detach_from_links(slot);
+  slot_index_.erase(cell.id);
+  cell.id = 0;
+  --live_flows_;
+  free_slots_.push_back(slot);
+  return std::move(cell.flow);
+}
+
+std::vector<std::uint32_t> Fabric::flows_on_links(const Route& route) const {
+  std::vector<std::uint32_t> slots;
+  for (const LinkId lid : route.links) {
+    if (static_cast<std::size_t>(lid) >= links_.size()) continue;
+    for (const LinkFlowRef& ref : links_[lid].flows) slots.push_back(ref.slot);
+  }
+  return slots;
+}
+
+void Fabric::collect_component(std::uint32_t seed_slot) {
+  comp_flows_.clear();
+  comp_links_.clear();
+  bfs_stack_.clear();
+  slots_[seed_slot].mark = epoch_;
+  bfs_stack_.push_back(seed_slot);
+  while (!bfs_stack_.empty()) {
+    const std::uint32_t slot = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    comp_flows_.push_back(slot);
+    for (const LinkId lid : slots_[slot].flow.stats.route.links) {
+      LinkState& link = links_[lid];
+      if (link.mark == epoch_) continue;
+      link.mark = epoch_;
+      comp_links_.push_back(lid);
+      for (const LinkFlowRef& ref : link.flows) {
+        Slot& other = slots_[ref.slot];
+        if (other.mark == epoch_) continue;
+        other.mark = epoch_;
+        bfs_stack_.push_back(ref.slot);
+      }
+    }
+  }
+}
+
+std::uint64_t Fabric::fill_component() {
   // --- Progressive filling (water-filling) with per-flow caps. ---
   // Invariants on exit (checked by tests): no link over capacity, no flow
   // over its cap, and every unfrozen flow is blocked by a saturated link.
-  struct LinkState {
-    double remaining_bps;
-    int active_flows = 0;
-  };
-  std::unordered_map<LinkId, LinkState> links;
-  std::vector<Flow*> unfrozen;
-  for (auto& [id, flow] : flows_) {
-    flow.rate_bps = 0.0;
-    if (!flow.activated) continue;
-    unfrozen.push_back(&flow);
-    for (LinkId lid : flow.stats.route.links) {
-      auto [it, inserted] = links.try_emplace(
-          lid,
-          LinkState{util::mbps_to_bytes_per_sec(
-                        topo_->link(lid).capacity_mbps),
-                    0});
-      ++it->second.active_flows;
-    }
+  //
+  // The arithmetic below must stay a pure function of this component's
+  // flows and links: the incremental/full-recompute equivalence (DESIGN.md
+  // §12) rests on unchanged components reproducing their retained rates
+  // bit-for-bit. Min-reductions are exact and all updates are per-entry,
+  // so iteration order cannot perturb the result.
+  for (const std::uint32_t slot : comp_flows_) {
+    slots_[slot].flow.rate_bps = 0.0;
+  }
+  for (const LinkId lid : comp_links_) {
+    links_[lid].remaining_bps =
+        util::mbps_to_bytes_per_sec(topo_->link(lid).capacity_mbps);
+    links_[lid].active = static_cast<std::int32_t>(links_[lid].flows.size());
   }
 
+  unfrozen_ = comp_flows_;
   std::uint64_t rounds = 0;
-  while (!unfrozen.empty()) {
+  while (!unfrozen_.empty()) {
     ++rounds;
     double delta = std::numeric_limits<double>::infinity();
-    for (const Flow* flow : unfrozen) {
-      delta = std::min(delta, flow->cap_bps - flow->rate_bps);
+    for (const std::uint32_t slot : unfrozen_) {
+      const Flow& flow = slots_[slot].flow;
+      delta = std::min(delta, flow.cap_bps - flow.rate_bps);
     }
-    for (const auto& [lid, state] : links) {
-      if (state.active_flows > 0) {
-        delta = std::min(delta, state.remaining_bps / state.active_flows);
+    for (const LinkId lid : comp_links_) {
+      const LinkState& link = links_[lid];
+      if (link.active > 0) {
+        delta = std::min(delta, link.remaining_bps / link.active);
       }
     }
     delta = std::max(delta, 0.0);
 
-    for (Flow* flow : unfrozen) flow->rate_bps += delta;
-    for (auto& [lid, state] : links) {
-      state.remaining_bps -= delta * state.active_flows;
+    for (const std::uint32_t slot : unfrozen_) {
+      slots_[slot].flow.rate_bps += delta;
+    }
+    for (const LinkId lid : comp_links_) {
+      links_[lid].remaining_bps -= delta * links_[lid].active;
     }
 
     // Freeze flows at their cap or on a saturated link.
-    std::vector<Flow*> still;
-    still.reserve(unfrozen.size());
-    for (Flow* flow : unfrozen) {
-      bool frozen = flow->rate_bps >= flow->cap_bps - kRateEps;
+    still_unfrozen_.clear();
+    for (const std::uint32_t slot : unfrozen_) {
+      const Flow& flow = slots_[slot].flow;
+      bool frozen = flow.rate_bps >= flow.cap_bps - kRateEps;
       if (!frozen) {
-        for (LinkId lid : flow->stats.route.links) {
-          if (links.at(lid).remaining_bps <= kRateEps) {
+        for (const LinkId lid : flow.stats.route.links) {
+          if (links_[lid].remaining_bps <= kRateEps) {
             frozen = true;
             break;
           }
         }
       }
       if (frozen) {
-        for (LinkId lid : flow->stats.route.links) {
-          --links.at(lid).active_flows;
+        for (const LinkId lid : flow.stats.route.links) {
+          --links_[lid].active;
         }
       } else {
-        still.push_back(flow);
+        still_unfrozen_.push_back(slot);
       }
     }
-    DROUTE_CHECK(still.size() < unfrozen.size() || delta > 0.0,
+    DROUTE_CHECK(still_unfrozen_.size() < unfrozen_.size() || delta > 0.0,
                  "allocation failed to make progress");
-    unfrozen = std::move(still);
+    std::swap(unfrozen_, still_unfrozen_);
   }
-  obs::add(obs_realloc_rounds_, rounds);
+
   if (obs_link_utilization_ != nullptr) {
-    for (const auto& [lid, state] : links) {
+    for (const LinkId lid : comp_links_) {
       const double capacity_bps =
           util::mbps_to_bytes_per_sec(topo_->link(lid).capacity_mbps);
       if (capacity_bps <= 0.0) continue;
       obs_link_utilization_->observe(
-          std::max(0.0, 1.0 - state.remaining_bps / capacity_bps));
+          std::max(0.0, 1.0 - links_[lid].remaining_bps / capacity_bps));
     }
+  }
+  return rounds;
+}
+
+void Fabric::reallocate_and_reschedule(const std::vector<std::uint32_t>& seeds,
+                                       bool force_full) {
+  ++epoch_;
+  if (epoch_ == 0) {
+    // uint32 wrap: stale marks could alias the new epoch; reset them all.
+    for (Slot& cell : slots_) cell.mark = 0;
+    for (LinkState& link : links_) link.mark = 0;
+    epoch_ = 1;
   }
 
-  // --- Schedule the next completion. ---
-  if (completion_event_.valid()) {
-    simulator_->cancel(completion_event_);
-    completion_event_ = sim::EventId{};
-  }
-  double next_dt = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
-    if (flow.rate_bps > kRateEps) {
-      next_dt = std::min(next_dt, std::max(0.0, flow.remaining_bytes - kByteEps) /
-                                      flow.rate_bps);
-    } else if (flow.activated && drained(flow.remaining_bytes, 0.0)) {
-      next_dt = 0.0;  // already done, just needs the completion event
+  std::uint64_t rounds = 0;
+  std::uint64_t components = 0;
+  // Re-fills the component around `seed_slot`, then settles byte progress
+  // and re-keys the finish heap for exactly the flows whose rate changed
+  // bitwise. An unchanged component reproduces its retained rates exactly,
+  // so full-recompute mode takes the same advance/re-key actions as
+  // incremental mode — the invariant the equivalence suite pins down.
+  const auto refill = [this, &rounds, &components](std::uint32_t seed_slot) {
+    collect_component(seed_slot);
+    comp_prev_rates_.clear();
+    for (const std::uint32_t slot : comp_flows_) {
+      comp_prev_rates_.push_back(slots_[slot].flow.rate_bps);
+    }
+    rounds += fill_component();
+    for (std::size_t i = 0; i < comp_flows_.size(); ++i) {
+      const std::uint32_t slot = comp_flows_[i];
+      Flow& flow = slots_[slot].flow;
+      if (flow.rate_bps == comp_prev_rates_[i]) continue;
+      advance_flow(flow, comp_prev_rates_[i]);
+      push_finish(slot);
+    }
+    ++components;
+  };
+  const bool full = force_full || alloc_mode_ == AllocMode::kFullRecompute;
+  if (full) {
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      const Slot& cell = slots_[slot];
+      if (cell.id == 0 || !cell.flow.activated || cell.mark == epoch_) continue;
+      refill(slot);
+    }
+  } else {
+    for (const std::uint32_t slot : seeds) {
+      const Slot& cell = slots_[slot];
+      if (cell.id == 0 || !cell.flow.activated || cell.mark == epoch_) continue;
+      refill(slot);
     }
   }
-  if (std::isfinite(next_dt)) {
-    completion_event_ =
-        simulator_->schedule_in(next_dt, [this] { on_completion_event(); });
-  }
+  obs::add(obs_realloc_rounds_, rounds);
+  obs::add(obs_realloc_components_, components);
+
+  resync_completion_event();
 }
 
 void Fabric::on_completion_event() {
   completion_event_ = sim::EventId{};
-  advance_to_now();
-  std::vector<Flow> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.activated &&
-        drained(it->second.remaining_bytes, it->second.rate_bps)) {
-      done.push_back(std::move(it->second));
-      it = flows_.erase(it);
+  scheduled_finish_ = sim::kTimeInfinity;
+  const sim::Time now = simulator_->now();
+  std::vector<std::pair<FlowId, std::uint32_t>> done_order;
+  while (!finish_heap_.empty()) {
+    const FinishEntry top = finish_heap_.top();
+    if (slots_[top.slot].id == 0 || slots_[top.slot].gen != top.gen) {
+      finish_heap_.pop();
+      continue;
+    }
+    if (top.finish_s > now) break;
+    finish_heap_.pop();
+    Flow& flow = slots_[top.slot].flow;
+    advance_flow(flow, flow.rate_bps);
+    if (drained(flow.remaining_bytes, flow.rate_bps)) {
+      done_order.emplace_back(slots_[top.slot].id, top.slot);
     } else {
-      ++it;
+      // Residue not quite drained (fp rounding): re-key strictly later. The
+      // nanosecond term in drained() guarantees the new finish is > now.
+      push_finish(top.slot);
     }
   }
-  reallocate_and_reschedule();
+  std::sort(done_order.begin(), done_order.end());
+  // Survivors that shared a link with a completing flow must be refilled;
+  // gather them before the completions leave the adjacency lists.
+  std::vector<std::uint32_t> seeds;
+  for (const auto& [id, slot] : done_order) {
+    for (const LinkId lid : slots_[slot].flow.stats.route.links) {
+      for (const LinkFlowRef& ref : links_[lid].flows) seeds.push_back(ref.slot);
+    }
+  }
+  std::vector<Flow> done;
+  done.reserve(done_order.size());
+  for (const auto& [id, slot] : done_order) {
+    done.push_back(extract_flow(slot));
+  }
+  reallocate_and_reschedule(seeds);
   for (auto& flow : done) {
     delivered_bytes_ += flow.stats.bytes;
     finish(std::move(flow), FlowOutcome::kCompleted);

@@ -10,6 +10,24 @@
 // and failure (event-driven fluid simulation); between events rates are
 // constant, so completions are scheduled exactly.
 //
+// Allocation is *incremental* (DESIGN.md §12): the max-min allocation
+// decomposes exactly over connected components of the flow/link sharing
+// graph, so each event water-fills only the component(s) reachable from the
+// flows it dirtied; every other flow keeps its retained rate. Because the
+// per-component fill is a deterministic function of the component's flows
+// and links alone, retained rates are bit-identical to what a full
+// recomputation would produce — the retained reference path
+// (AllocMode::kFullRecompute) re-fills every component from scratch on every
+// event, and the differential suite (tests/fabric_equivalence_test.cpp,
+// proptest property `fabric_equivalence`) holds the two paths byte-equal.
+//
+// Between-event bookkeeping is lazy so untouched flows cost nothing per
+// event: byte progress is advanced per flow only when its rate is about to
+// change (or it leaves), and completions are scheduled from a min-heap of
+// absolute finish times re-keyed only on rate change. Both are keyed off
+// "did this flow's rate change bitwise", which the component argument above
+// makes identical across the two allocation modes.
+//
 // Slow start is modelled as an activation delay during which the flow
 // consumes no bandwidth (conservative for short flows, negligible for bulk).
 #pragma once
@@ -18,7 +36,9 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/routing.h"
@@ -73,6 +93,13 @@ class Fabric {
  public:
   using CompletionFn = std::function<void(const FlowStats&)>;
 
+  /// How each event re-derives the max-min allocation.
+  ///   kIncremental    water-fill only the component(s) dirtied by the event;
+  ///                   all other flows keep their retained rates (default).
+  ///   kFullRecompute  re-fill every component from scratch on every event —
+  ///                   the reference the differential suite compares against.
+  enum class AllocMode { kIncremental, kFullRecompute };
+
   Fabric(sim::Simulator* simulator, Topology* topo, RouteTable* routes);
 
   Fabric(const Fabric&) = delete;
@@ -81,6 +108,12 @@ class Fabric {
   /// The simulator this fabric schedules on (shared with callers that need
   /// to interleave protocol timers with flow completions).
   sim::Simulator* simulator() const { return simulator_; }
+
+  /// Selects the allocation strategy (see AllocMode). Switching mid-run is
+  /// allowed — both modes maintain identical state — but the differential
+  /// suite always fixes the mode for a whole scenario.
+  void set_alloc_mode(AllocMode mode) { alloc_mode_ = mode; }
+  AllocMode alloc_mode() const { return alloc_mode_; }
 
   /// Base RTT added to propagation (host stacks, serialization); default 3ms.
   void set_base_rtt_s(double base_rtt) { base_rtt_s_ = base_rtt; }
@@ -112,13 +145,20 @@ class Fabric {
   /// out-of-band topology mutation that changes shared capacity (e.g.
   /// Topology::set_link_capacity from a chaos plan): flows keep their
   /// routes and per-flow caps; only the fair shares converge to the new
-  /// capacities. A no-op when nothing is active.
+  /// capacities. Always falls back to a full recompute (the fabric cannot
+  /// see which links were rewritten). With nothing active and no completion
+  /// pending it early-outs and only bumps realloc_skipped().
   void reallocate_now();
+
+  /// Times reallocate_now() was skipped because the fabric was idle
+  /// (mirrored by the `fabric.realloc_skipped_total` counter when an obs
+  /// recorder is installed).
+  std::uint64_t realloc_skipped() const { return realloc_skipped_; }
 
   /// Current allocated rate of a flow in Mbps (0 if pending/unknown).
   double current_rate_mbps(FlowId id) const;
 
-  std::size_t active_flow_count() const { return flows_.size(); }
+  std::size_t active_flow_count() const { return live_flows_; }
 
   /// Total payload bytes fully delivered since construction.
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
@@ -151,36 +191,134 @@ class Fabric {
   struct Flow {
     FlowStats stats;
     CompletionFn on_complete;
-    double remaining_bytes = 0.0;
+    double remaining_bytes = 0.0;   // as of last_advance_s, not now
+    double last_advance_s = 0.0;    // when remaining_bytes was last settled
     double rate_bps = 0.0;   // current allocation, bytes/sec
     double cap_bps = 0.0;    // per-flow ceiling, bytes/sec
     bool activated = false;  // false while in modelled slow start
     sim::EventId activation_event;
+    // Position of this flow's entry in each route link's flow list
+    // (parallel to stats.route.links); maintained while activated.
+    std::vector<std::uint32_t> link_pos;
   };
 
-  // Moves simulated byte-progress forward to simulator->now().
-  void advance_to_now();
+  /// One dense storage cell; `id == 0` marks a free slot. Slots are reused
+  /// LIFO, so slot assignment is deterministic for a given event history.
+  struct Slot {
+    FlowId id = 0;
+    std::uint32_t mark = 0;  // component-BFS visitation epoch
+    std::uint64_t gen = 0;   // invalidates stale finish-heap entries
+    Flow flow;
+  };
 
-  // Recomputes the max-min allocation and reschedules the completion event.
-  void reallocate_and_reschedule();
+  /// Heap record: flow in `slot` finishes at absolute time `finish_s`,
+  /// valid only while the slot's generation still equals `gen` (entries are
+  /// never erased in place — superseded ones are skipped on pop).
+  struct FinishEntry {
+    double finish_s = 0.0;
+    std::uint32_t slot = 0;
+    std::uint64_t gen = 0;
+  };
+  struct FinishLater {
+    bool operator()(const FinishEntry& a, const FinishEntry& b) const {
+      return a.finish_s > b.finish_s;
+    }
+  };
 
-  // Completes/fails `flow` (already removed from flows_) and fires callback.
+  /// Per-link dense state, indexed by LinkId. `flows` lists every activated
+  /// flow crossing the link (one entry per route occurrence); `remaining_bps`
+  /// retains the headroom left by the last water-fill that touched the link.
+  struct LinkFlowRef {
+    std::uint32_t slot = 0;
+    std::uint32_t route_idx = 0;  // index into that flow's route.links
+  };
+  struct LinkState {
+    double remaining_bps = 0.0;
+    std::int32_t active = 0;  // scratch during a fill round
+    std::uint32_t mark = 0;   // component-BFS visitation epoch
+    std::vector<LinkFlowRef> flows;
+  };
+
+  // Settles `flow`'s byte progress up to now, charging `rate_bps` (its rate
+  // since last_advance_s). Called only when the rate changes or the flow
+  // leaves — never per event.
+  void advance_flow(Flow& flow, double rate_bps) const;
+
+  // remaining_bytes as of now, without mutating (for const queries).
+  double live_remaining(const Flow& flow) const;
+
+  // Re-keys `slot`'s finish time from its current rate/remaining: bumps the
+  // slot generation (invalidating any queued entry) and pushes a fresh heap
+  // entry when the flow has a finite finish.
+  void push_finish(std::uint32_t slot);
+
+  // Points completion_event_ at the heap's minimum valid finish time,
+  // cancelling/rescheduling only when that minimum changed.
+  void resync_completion_event();
+
+  // Inserts/removes an activated flow into/from its links' flow lists.
+  void attach_to_links(std::uint32_t slot);
+  void detach_from_links(std::uint32_t slot);
+
+  // Collects the connected component reachable from `seed_slot` into
+  // comp_flows_/comp_links_ (epoch-marked; callers bumped epoch_).
+  void collect_component(std::uint32_t seed_slot);
+
+  // Max-min water-fill over the collected component only. Returns rounds.
+  std::uint64_t fill_component();
+
+  // Water-fills the components reachable from `seeds` (incremental mode) or
+  // every component (full mode / force_full); flows whose rate changed are
+  // settled and re-keyed in the finish heap, then the completion event is
+  // resynced to the new heap minimum.
+  void reallocate_and_reschedule(const std::vector<std::uint32_t>& seeds,
+                                 bool force_full = false);
+
+  // Seed helper: every activated flow currently sharing a link with `route`.
+  std::vector<std::uint32_t> flows_on_links(const Route& route) const;
+
+  // Completes/fails `flow` (already removed from slots) and fires callback.
   void finish(Flow flow, FlowOutcome outcome);
 
   void on_completion_event();
+
+  // Removes the slot from storage (and adjacency if activated); returns the
+  // flow by value. Does not reallocate.
+  Flow extract_flow(std::uint32_t slot);
+
+  std::uint32_t slot_of(FlowId id) const;  // UINT32_MAX when unknown
 
   sim::Simulator* simulator_;
   Topology* topo_;
   RouteTable* routes_;
   double base_rtt_s_ = 0.003;
+  AllocMode alloc_mode_ = AllocMode::kIncremental;
 
-  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<FlowId, std::uint32_t> slot_index_;
+  std::size_t live_flows_ = 0;
+  std::vector<LinkState> links_;
+  std::uint32_t epoch_ = 0;
+
+  // Scratch buffers reused across reallocations (no per-event rebuilds).
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<LinkId> comp_links_;
+  std::vector<std::uint32_t> bfs_stack_;
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<std::uint32_t> still_unfrozen_;
+  std::vector<double> comp_prev_rates_;  // pre-fill rates, ∥ comp_flows_
+
   FlowId next_flow_id_ = 1;
-  sim::Time last_advance_ = 0.0;
+  std::priority_queue<FinishEntry, std::vector<FinishEntry>, FinishLater>
+      finish_heap_;
+  // Finish time completion_event_ targets; infinity when none is scheduled.
+  sim::Time scheduled_finish_ = sim::kTimeInfinity;
   sim::EventId completion_event_;
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t submitted_bytes_ = 0;
   double finished_moved_bytes_ = 0.0;
+  std::uint64_t realloc_skipped_ = 0;
 
   // obs handles (null when recording is disabled at construction).
   obs::Counter* obs_flows_started_ = nullptr;
@@ -188,6 +326,8 @@ class Fabric {
   obs::Counter* obs_flows_failed_ = nullptr;
   obs::Counter* obs_flows_policer_capped_ = nullptr;
   obs::Counter* obs_realloc_rounds_ = nullptr;
+  obs::Counter* obs_realloc_components_ = nullptr;
+  obs::Counter* obs_realloc_skipped_ = nullptr;
   obs::Histogram* obs_flow_duration_ = nullptr;
   obs::Histogram* obs_link_utilization_ = nullptr;
 };

@@ -26,19 +26,15 @@ EventId Simulator::schedule_in(Time delay, Handler handler) {
 }
 
 bool Simulator::cancel(EventId id) {
+  // The handler table is the single source of liveness: erasing the handler
+  // IS the cancellation. The heap entry is reclaimed lazily when it surfaces.
   if (!id.valid()) return false;
-  auto it = handlers_.find(id.value);
-  if (it == handlers_.end()) return false;  // already fired or never existed
-  handlers_.erase(it);
-  cancelled_.insert(id.value);
-  return true;
+  return handlers_.erase(id.value) > 0;
 }
 
 void Simulator::skim_cancelled() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
+  while (!heap_.empty() &&
+         handlers_.find(heap_.top().id) == handlers_.end()) {
     heap_.pop();
   }
 }
@@ -49,15 +45,21 @@ Time Simulator::next_event_time() const {
 }
 
 bool Simulator::step() {
-  skim_cancelled();
-  if (heap_.empty()) return false;
-  const Entry entry = heap_.top();
+  // Skim and handler lookup fused: the first heap entry with a registered
+  // handler is the next live event, so one hash probe serves both purposes.
+  auto it = handlers_.end();
+  Entry entry{};
+  for (;;) {
+    if (heap_.empty()) return false;
+    entry = heap_.top();
+    it = handlers_.find(entry.id);
+    if (it != handlers_.end()) break;
+    heap_.pop();  // cancelled twin: reclaim lazily
+  }
   heap_.pop();
   DROUTE_CHECK(entry.at >= now_, "event queue time went backwards");
   now_ = entry.at;
   if (step_observer_) step_observer_(now_);
-  auto it = handlers_.find(entry.id);
-  DROUTE_CHECK(it != handlers_.end(), "live event without handler");
   Handler handler = std::move(it->second);
   handlers_.erase(it);
   ++executed_;

@@ -16,7 +16,6 @@
 #include <limits>
 #include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace droute::obs {
@@ -92,10 +91,14 @@ class Simulator {
   /// Total events executed over the simulator's lifetime.
   std::uint64_t executed_events() const { return executed_; }
 
-  /// Cancelled entries still parked in the heap (lazily reclaimed). A large
-  /// backlog after a drain signals a component cancelling timers it never
-  /// lets expire; check::SimAuditor audits this at quiescence.
-  std::size_t cancelled_backlog() const { return cancelled_.size(); }
+  /// Cancelled entries still parked in the heap (lazily reclaimed). Every
+  /// live event has exactly one heap entry and one handler, so the backlog
+  /// is the difference. A large backlog after a drain signals a component
+  /// cancelling timers it never lets expire; check::SimAuditor audits this
+  /// at quiescence.
+  std::size_t cancelled_backlog() const {
+    return heap_.size() - handlers_.size();
+  }
 
   /// Observer invoked at the top of every executed event, after the clock
   /// advances but before the handler runs. One observer at a time (last
@@ -124,10 +127,11 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  // Handlers are stored out-of-heap so Entry stays trivially copyable.
+  // Handlers are stored out-of-heap so Entry stays trivially copyable. The
+  // handler table doubles as the liveness set: cancel() erases the handler
+  // and the orphaned heap entry is skipped when it reaches the top.
   mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
   std::unordered_map<std::uint64_t, Handler> handlers_;
-  mutable std::unordered_set<std::uint64_t> cancelled_;
   StepObserver step_observer_;
   // obs handles (null when recording is disabled at construction).
   obs::Counter* obs_events_executed_ = nullptr;

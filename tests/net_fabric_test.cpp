@@ -441,6 +441,68 @@ TEST(Fabric, RestoreBeforeFailIsANoOp) {
   world.audit_drained();
 }
 
+TEST(Fabric, ReallocateNowOnIdleFabricIsSkipped) {
+  Dumbbell world(100.0);
+  EXPECT_EQ(world.fabric->realloc_skipped(), 0u);
+  // Capacity/policer rewrite hooks fire between campaign runs when nothing
+  // is in flight; the recompute must early-out instead of walking state.
+  world.fabric->reallocate_now();
+  world.fabric->reallocate_now();
+  EXPECT_EQ(world.fabric->realloc_skipped(), 2u);
+
+  // With a flow in flight the recompute is real again.
+  FlowOutcome outcome = FlowOutcome::kAborted;
+  ASSERT_TRUE(world.fabric
+                  ->start_flow(world.a[0], world.b[0], util::kMB,
+                               [&](const FlowStats& s) { outcome = s.outcome; })
+                  .ok());
+  world.fabric->reallocate_now();
+  EXPECT_EQ(world.fabric->realloc_skipped(), 2u);
+  world.simulator.run();
+  EXPECT_EQ(outcome, FlowOutcome::kCompleted);
+
+  // Idle again after the flow drains: back to skipping.
+  world.fabric->reallocate_now();
+  EXPECT_EQ(world.fabric->realloc_skipped(), 3u);
+  world.audit();
+  world.audit_drained();
+}
+
+TEST(Fabric, FullRecomputeModeMatchesIncrementalRates) {
+  // Two independent dumbbells driven by the same event script, one per
+  // allocation mode: every observable rate must match bit-for-bit (the
+  // broad version of this check lives in fabric_equivalence_test.cpp).
+  Dumbbell inc(100.0), full(100.0);
+  full.fabric->set_alloc_mode(Fabric::AllocMode::kFullRecompute);
+  EXPECT_EQ(inc.fabric->alloc_mode(), Fabric::AllocMode::kIncremental);
+
+  FlowOptions options;
+  options.charge_slow_start = false;
+  std::vector<FlowId> inc_ids, full_ids;
+  for (Dumbbell* world : {&inc, &full}) {
+    auto& ids = world == &inc ? inc_ids : full_ids;
+    for (int i = 0; i < 3; ++i) {
+      auto flow = world->fabric->start_flow(world->a[i], world->b[i],
+                                            50 * util::kMB, {}, options);
+      ASSERT_TRUE(flow.ok());
+      ids.push_back(flow.value());
+    }
+    world->simulator.run_until(1.0);
+  }
+  for (std::size_t i = 0; i < inc_ids.size(); ++i) {
+    EXPECT_EQ(inc.fabric->current_rate_mbps(inc_ids[i]),
+              full.fabric->current_rate_mbps(full_ids[i]));
+  }
+  inc.fabric->abort_flow(inc_ids[0]);
+  full.fabric->abort_flow(full_ids[0]);
+  for (std::size_t i = 1; i < inc_ids.size(); ++i) {
+    EXPECT_EQ(inc.fabric->current_rate_mbps(inc_ids[i]),
+              full.fabric->current_rate_mbps(full_ids[i]));
+  }
+  inc.audit();
+  full.audit();
+}
+
 TEST(Fabric, CapacityRewriteMidFlowConverges) {
   Dumbbell world(100.0);
   FlowStats finished;

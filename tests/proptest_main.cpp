@@ -108,6 +108,20 @@ int replay(const Options& options) {
     }
     const RunReport report = droute::chaos::run_case(loaded.value());
     if (report.ok()) {
+      // fabric_equivalence: the incremental allocator must reproduce the
+      // full-recompute reference digest on every corpus case, forever.
+      const RunReport reference = droute::chaos::run_case(
+          loaded.value(), droute::chaos::RunOptions{.full_recompute = true});
+      if (reference.digest != report.digest) {
+        std::fprintf(stderr,
+                     "FAIL %s: property 'fabric_equivalence' violated: "
+                     "incremental digest %016llx != full-recompute %016llx\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(report.digest),
+                     static_cast<unsigned long long>(reference.digest));
+        ++failures;
+        continue;
+      }
       std::printf("ok   %s digest=%016llx\n", path.c_str(),
                   static_cast<unsigned long long>(report.digest));
     } else {
@@ -129,7 +143,17 @@ int fuzz(const Options& options) {
     RunReport report = droute::chaos::run_case(c);
     std::string violated = report.violated;
     std::string detail = report.detail;
-    if (report.ok() && options.selfcheck) {
+    if (report.ok()) {
+      // fabric_equivalence: re-run against the retained full-recompute
+      // allocator; any digest drift means a stale incremental rate.
+      const RunReport reference = droute::chaos::run_case(
+          c, droute::chaos::RunOptions{.full_recompute = true});
+      if (reference.digest != report.digest) {
+        violated = "fabric_equivalence";
+        detail = "incremental and full-recompute digests differ";
+      }
+    }
+    if (violated.empty() && options.selfcheck) {
       const RunReport second = droute::chaos::run_case(c);
       if (second.digest != report.digest) {
         violated = "replay_divergence";
@@ -150,7 +174,14 @@ int fuzz(const Options& options) {
     const Case minimal = droute::chaos::shrink(
         c,
         [&violated](const Case& candidate) {
-          return droute::chaos::run_case(candidate).violated == violated;
+          const RunReport run = droute::chaos::run_case(candidate);
+          if (violated == "fabric_equivalence") {
+            if (!run.ok()) return false;
+            const RunReport reference = droute::chaos::run_case(
+                candidate, droute::chaos::RunOptions{.full_recompute = true});
+            return reference.digest != run.digest;
+          }
+          return run.violated == violated;
         },
         options.shrink_attempts, &stats);
     const std::string out_path =

@@ -28,6 +28,13 @@ Rules, all scoped to src/:
                 structs threaded through callbacks are the pattern this
                 repo migrated away from.
 
+One rule is scoped to bench/:
+
+  bench-unit    every DROUTE_BENCH registration declares its reporting unit
+                as a non-empty string literal (e.g. "ms"). BENCH_*.json
+                consumers chart medians across commits; a case without a
+                unit makes the axis unlabeled and the trend unreadable.
+
 One rule is scoped to tests/corpus/ instead:
 
   corpus-header every checked-in replay case (tests/corpus/*.case) opens
@@ -83,6 +90,12 @@ METRIC_CALL_RE = re.compile(
 )
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
 HISTOGRAM_UNIT_SUFFIXES = ("_s", "_bytes", "_mbps", "_ratio")
+
+# Bench-case registrations. The unit operand must be a non-empty string
+# literal so BENCH_*.json always carries a labeled axis. The macro's own
+# #define in bench/harness.h is skipped by the directive check.
+BENCH_CASE_RE = re.compile(r"\bDROUTE_BENCH\s*\(\s*(?P<name>\w+)\s*,\s*(?P<unit>[^)]*)\)")
+BENCH_UNIT_OK_RE = re.compile(r'^"[^"]+"$')
 
 # Replay-corpus provenance headers (written by proptest's shrinker; kept by
 # hand-authored cases too). `violated` names a run_case property or "none".
@@ -277,6 +290,22 @@ class Linter:
                     "Result/Status-returning declaration lacks [[nodiscard]]",
                 )
 
+    def check_bench_file(self, path: Path) -> None:
+        for idx, raw in enumerate(path.read_text(encoding="utf-8").splitlines()):
+            if raw.lstrip().startswith("#"):
+                continue  # the macro's own #define in harness.h
+            if "bench-unit" in {m.group("rule") for m in ALLOW_RE.finditer(raw)}:
+                continue
+            for match in BENCH_CASE_RE.finditer(raw):
+                unit = match.group("unit").strip()
+                if not BENCH_UNIT_OK_RE.match(unit):
+                    self.report(
+                        path, idx + 1, "bench-unit",
+                        f"bench case `{match.group('name')}` must declare its "
+                        "unit as a non-empty string literal (got "
+                        f"{unit or 'nothing'})",
+                    )
+
     def check_corpus_case(self, path: Path) -> None:
         lines = path.read_text(encoding="utf-8").splitlines()
         header_seed = None
@@ -315,6 +344,11 @@ class Linter:
         for path in sorted(src.rglob("*")):
             if path.suffix in (".h", ".cpp"):
                 self.lint_file(path)
+        bench = self.root / "bench"
+        if bench.is_dir():
+            for path in sorted(bench.rglob("*")):
+                if path.suffix in (".h", ".cpp"):
+                    self.check_bench_file(path)
         corpus = self.root / "tests" / "corpus"
         if corpus.is_dir():
             for path in sorted(corpus.glob("*.case")):
