@@ -51,6 +51,9 @@ class Registry {
   std::string render_map(int width = 96, int height = 28) const;
 
  private:
+  // Determinism audit: both maps serve point lookups only. Anything that
+  // enumerates the registry (all(), render_map()) walks insertion_order_,
+  // which exists precisely so hash order never reaches output.
   std::unordered_map<std::string, Location> by_name_;
   std::unordered_map<std::uint32_t, std::string> ip_to_name_;
   std::vector<std::string> insertion_order_;

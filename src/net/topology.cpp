@@ -76,6 +76,8 @@ util::Status Topology::validate() const {
       return util::Status::failure("node " + n.name + " in undeclared AS");
     }
   }
+  // Determinism audit: duplicate detection only (insert + bool result);
+  // the loop iterates nodes_ in declaration order, never the set.
   std::unordered_set<std::string> names;
   for (const Node& n : nodes_) {
     if (!names.insert(n.name).second) {

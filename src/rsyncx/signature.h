@@ -52,7 +52,9 @@ class SignatureIndex {
 
  private:
   const Signature* signature_;
-  // weak digest -> indices into signature_->blocks
+  // weak digest -> indices into signature_->blocks. Determinism audit:
+  // lookup-only via candidates(); each bucket's vector preserves block
+  // order, so delta output is independent of hash order.
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_weak_;
 };
 

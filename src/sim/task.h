@@ -198,7 +198,9 @@ class Task {
   /// The completed task's result. Precondition: done().
   const result_type& result() const {
     DROUTE_CHECK(done(), "Task::result() before completion");
-    return *state_->result;
+    // Invariant: complete() fills `result` before `finished` flips, so a
+    // done() task always holds a value (opaque to flow-sensitive tidy).
+    return *state_->result;  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   /// Requests cooperative cancellation: the pending awaitable (sim event,
@@ -218,14 +220,15 @@ class Task {
   template <typename Fn>
   void on_done(Fn fn) {
     if (done()) {
-      fn(*state_->result);
+      fn(*state_->result);  // NOLINT(bugprone-unchecked-optional-access) — done() implies result
       return;
     }
     // Raw pointer on purpose: the waiter is stored inside the state it
     // points at, and FinalAwaiter keeps the state alive while firing.
     State* state = state_.get();
     state_->waiters.push_back(
-        [state, fn = std::move(fn)] { fn(*state->result); });
+        // Waiters only fire from FinalAwaiter, after complete() ran.
+        [state, fn = std::move(fn)] { fn(*state->result); });  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   // --- awaiter interface: co_await a (named, lvalue) task from a task ---
@@ -254,7 +257,8 @@ class Task {
     }
   }
 
-  result_type await_resume() & { return *state_->result; }
+  // Resumption implies FinalAwaiter ran, which implies complete() ran.
+  result_type await_resume() & { return *state_->result; }  // NOLINT(bugprone-unchecked-optional-access)
 
  private:
   friend class promise_type;
@@ -505,8 +509,10 @@ Task<AnyOutcome<T>> any_of(std::vector<Task<T>> tasks) {
 /// Runs `task` against a simulated-time budget: if it does not finish
 /// within `dt`, it is cancelled and the result is a kErrTimeout error;
 /// otherwise the inner result passes through unchanged.
+// The Simulator reference is safe to hold across suspension: every Task
+// must be joined or cancelled before its Simulator dies (header contract).
 template <typename T>
-Task<T> with_timeout(Simulator& simulator, Task<T> task, Time dt) {
+Task<T> with_timeout(Simulator& simulator, Task<T> task, Time dt) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
   bool timed_out = false;
   EventId timer;
   if (!task.done()) {

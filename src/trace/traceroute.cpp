@@ -80,6 +80,8 @@ util::Result<Tracer::Asymmetry> Tracer::round_trip_asymmetry(
   };
   const auto fwd = middles(forward.value(), dst);
   const auto rev = middles(reverse.value(), src);
+  // Determinism audit: both sets are membership probes only — iteration
+  // below walks the order-stable `fwd`/`rev` vectors, never the sets.
   const std::unordered_set<net::NodeId> fwd_set(fwd.begin(), fwd.end());
   const std::unordered_set<net::NodeId> rev_set(rev.begin(), rev.end());
   Asymmetry result;
@@ -99,6 +101,8 @@ RouteDiff Tracer::diff(const TracerouteResult& first,
   RouteDiff diff;
   const auto a = first.responsive_nodes();
   const auto b = second.responsive_nodes();
+  // Determinism audit: membership probes only; the diff lists are built by
+  // walking `a` and `b` in path order, so hash order never escapes.
   const std::unordered_set<net::NodeId> in_a(a.begin(), a.end());
   const std::unordered_set<net::NodeId> in_b(b.begin(), b.end());
 

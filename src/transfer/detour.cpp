@@ -141,8 +141,10 @@ struct PipelineShared {
   }
 };
 
-/// Leg 1: relays chunks client -> DTN back-to-back.
-sim::Task<bool> pipeline_leg1(PipelineShared& sh) {
+/// Leg 1: relays chunks client -> DTN back-to-back. PipelineShared lives
+/// in the parent coroutine's frame, which co_awaits both legs before
+/// returning, so the reference outlives every suspension here.
+sim::Task<bool> pipeline_leg1(PipelineShared& sh) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
   for (std::size_t next = 0; next < sh.chunks->size(); ++next) {
     if (sh.failed) co_return false;
     net::FlowOptions flow_options;
@@ -170,7 +172,8 @@ sim::Task<bool> pipeline_leg1(PipelineShared& sh) {
 }
 
 /// Leg 2: drains arrived chunks DTN -> provider sequentially, finalizes.
-sim::Task<bool> pipeline_leg2(PipelineShared& sh) {
+/// Same lifetime argument as leg 1: the parent frame owns `sh` and joins.
+sim::Task<bool> pipeline_leg2(PipelineShared& sh) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
   sim::Simulator& simulator = *sh.fabric->simulator();
   const cloud::ApiProfile& profile = sh.api->server()->profile();
   std::uint64_t offset = 0;

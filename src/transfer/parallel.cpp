@@ -17,7 +17,9 @@ namespace {
 /// One stripe: a single flow carrying a contiguous byte range. Yields the
 /// flow's stats (any outcome) or an error when the fabric refused to start
 /// the flow at all.
-sim::Task<net::FlowStats> stripe_task(net::Fabric& fabric, net::NodeId src,
+/// The Fabric outlives every stripe: push_task() co_awaits all stripes it
+/// spawns before returning, and the fabric outlives the engine.
+sim::Task<net::FlowStats> stripe_task(net::Fabric& fabric, net::NodeId src,  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
                                       net::NodeId dst, std::uint64_t bytes) {
   net::FlowOptions options;
   options.charge_slow_start = true;  // every stream ramps independently

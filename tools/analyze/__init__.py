@@ -1,0 +1,13 @@
+"""droute-analyze: AST-level determinism & coroutine-lifetime analyzer.
+
+Package layout:
+    cpptokens.py     lossless-enough C++ lexer (comments/strings stripped,
+                     line numbers kept)
+    model.py         the per-file semantic model every rule consumes, plus
+                     the token-level structural builder
+    engine_clang.py  libclang (clang.cindex) augmentation: resolves real
+                     types from compile_commands.json when available
+    rules/           rule plugins (determinism, coroutine, suspension)
+    run.py           CLI driver + JSON report
+    selftest.py      fixture-corpus assertions (ctest: analyze.ast_rules)
+"""

@@ -1,0 +1,169 @@
+"""A small C++ lexer: identifiers, numbers, string/char literals (collapsed),
+punctuators, with 1-based line numbers. Comments and whitespace are dropped;
+preprocessor directives are kept as a single `pp` token per logical line so
+structural scans can skip them.
+
+This is not a full C++ tokenizer — it is exactly enough for the structural
+model in model.py: balanced-bracket scanning, capture lists, template
+argument lists, statement boundaries. Raw strings, line continuations, and
+digit separators are handled; trigraphs and UCNs are not (the repo has
+none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*", "<=>")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*", "##",
+)
+
+_ID_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_ID_CONT = _ID_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "num" | "str" | "chr" | "punct" | "pp"
+    text: str
+    line: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def skip_line_continuations(j: int) -> int:
+        nonlocal line
+        while j + 1 < n and text[j] == "\\" and text[j + 1] == "\n":
+            line += 1
+            j += 2
+        return j
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                while i < n and text[i] != "\n":
+                    i += 1
+                continue
+            if text[i + 1] == "*":
+                i += 2
+                while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                    if text[i] == "\n":
+                        line += 1
+                    i += 1
+                i = min(i + 2, n)
+                continue
+
+        # Preprocessor directive: swallow the logical line (with \-splices).
+        if c == "#" and at_line_start:
+            start_line = line
+            j = i
+            while j < n and text[j] != "\n":
+                if text[j] == "\\" and j + 1 < n and text[j + 1] == "\n":
+                    line += 1
+                    j += 2
+                    continue
+                j += 1
+            tokens.append(Token("pp", text[i:j], start_line))
+            i = j
+            continue
+
+        at_line_start = False
+
+        # Raw string literal R"delim( ... )delim".
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = i + 2
+            while j < n and text[j] not in "(\n" and (j - i - 2) < 16:
+                j += 1
+            if j < n and text[j] == "(":
+                delim = text[i + 2 : j]
+                close = ")" + delim + '"'
+                end = text.find(close, j + 1)
+                if end == -1:
+                    end = n - len(close)
+                line += text.count("\n", i, end + len(close))
+                tokens.append(Token("str", '""', line))
+                i = end + len(close)
+                continue
+
+        # String/char literal (prefixes like u8"", L'' arrive as id + literal,
+        # which is fine for our scans).
+        if c in "\"'":
+            quote = c
+            start_line = line
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == "\n":  # unterminated; bail at line end
+                    break
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            tokens.append(
+                Token("str" if quote == '"' else "chr", quote + quote, start_line)
+            )
+            i = j
+            continue
+
+        # Identifier / keyword.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+
+        # Number (incl. hex, floats, digit separators, exponent signs).
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n:
+                ch = text[j]
+                if ch in _ID_CONT or ch in "'.":
+                    j += 1
+                    continue
+                if ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                    continue
+                break
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+
+        # Punctuators, longest match first.
+        i = skip_line_continuations(i)
+        for group in (_PUNCT3, _PUNCT2):
+            tok = text[i : i + len(group[0])]
+            if tok in group:
+                tokens.append(Token("punct", tok, line))
+                i += len(tok)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+
+    return tokens

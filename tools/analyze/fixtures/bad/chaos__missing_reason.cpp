@@ -1,0 +1,12 @@
+// Fixture: a waiver that works (it suppresses a real wall-clock hit in a
+// deterministic subsystem) but states no reason. The suppressed rule stays
+// quiet; the reason-less marker is reported so every waiver stays auditable.
+#include <cstdlib>
+
+namespace droute::analyze_fixture {
+
+inline int noisy_value() {
+  return std::rand();  // analyze: allow(determinism-wall-clock)  // expect: waiver-missing-reason
+}
+
+}  // namespace droute::analyze_fixture

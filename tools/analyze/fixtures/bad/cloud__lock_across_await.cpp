@@ -1,0 +1,33 @@
+// Fixture: a mutex held across co_await. The frame parks with the lock
+// held for unbounded simulated time; every other task sharing the mutex
+// in the same event loop wedges. Scoping the guard in a block is clean.
+#include <mutex>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace droute::analyze_fixture {
+
+struct Cache {
+  std::mutex mu;
+  int hits = 0;
+};
+
+sim::Task<void> refresh_held(sim::Simulator& simulator, Cache& cache) {
+  std::lock_guard<std::mutex> guard(cache.mu);
+  ++cache.hits;
+  auto wait = sim::delay(simulator, 0.5);
+  co_await wait;  // expect: suspend-lock-across-await
+  ++cache.hits;
+}
+
+sim::Task<void> refresh_scoped(sim::Simulator& simulator, Cache& cache) {
+  {
+    std::lock_guard<std::mutex> guard(cache.mu);
+    ++cache.hits;
+  }
+  auto wait = sim::delay(simulator, 0.5);
+  co_await wait;  // lock released before suspension: clean
+}
+
+}  // namespace droute::analyze_fixture

@@ -1,0 +1,17 @@
+// Fixture: a Task<T> data member outside src/sim. The stored task's
+// pending resume lives in the simulator queue, so the owning type silently
+// inherits the must-not-outlive-Simulator contract from DESIGN.md §10.
+#include <utility>
+
+#include "sim/task.h"
+
+namespace droute::analyze_fixture {
+
+struct SyncSession {
+  explicit SyncSession(sim::Task<int> task) : inflight(std::move(task)) {}
+
+  sim::Task<int> inflight;  // expect: coroutine-task-field
+  sim::Task<bool>* watcher = nullptr;  // non-owning view: clean
+};
+
+}  // namespace droute::analyze_fixture

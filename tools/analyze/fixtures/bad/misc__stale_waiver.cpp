@@ -1,0 +1,12 @@
+// Fixture: a waiver that suppresses nothing. The rand() it once excused
+// was deleted, the marker stayed behind — the analyzer reports the rotted
+// waiver itself as an error so markers cannot silently accumulate.
+
+namespace droute::analyze_fixture {
+
+inline int stable_value() {
+  // analyze: allow(determinism-wall-clock) — excused a rand() that no longer exists  // expect: waiver-stale
+  return 42;
+}
+
+}  // namespace droute::analyze_fixture

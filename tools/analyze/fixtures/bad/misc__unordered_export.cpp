@@ -1,0 +1,25 @@
+// Fixture: outside the deterministic subsystems the unordered-iteration
+// rule is sink-sensitive — only loops whose body feeds serialization,
+// digests, metric export, or event scheduling are flagged.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+namespace droute::analyze_fixture {
+
+std::string export_cells(
+    const std::unordered_map<std::string, double>& cells) {
+  std::ostringstream out;
+  for (const auto& [key, value] : cells) {  // expect: determinism-unordered-iter
+    out << key << "," << value << "\n";
+  }
+  double total = 0.0;
+  for (const auto& [key, value] : cells) {  // order-insensitive fold: clean
+    (void)key;
+    total += value;
+  }
+  out << total << "\n";
+  return out.str();
+}
+
+}  // namespace droute::analyze_fixture

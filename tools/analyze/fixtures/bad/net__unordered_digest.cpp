@@ -1,0 +1,22 @@
+// Fixture: hash-order iteration inside a sim-deterministic subsystem. In
+// deterministic scope (src/net here) any range-for over an unordered
+// container is flagged — the digest in the body just makes it vivid.
+#include <cstdint>
+#include <unordered_map>
+
+namespace droute::analyze_fixture {
+
+inline std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  return (hash ^ value) * 1099511628211ULL;
+}
+
+std::uint64_t digest_flows(const std::unordered_map<int, double>& rates) {
+  std::uint64_t digest = 14695981039346656037ULL;
+  for (const auto& [id, rate] : rates) {  // expect: determinism-unordered-iter
+    (void)rate;
+    digest = fnv1a(digest, static_cast<std::uint64_t>(id));
+  }
+  return digest;
+}
+
+}  // namespace droute::analyze_fixture

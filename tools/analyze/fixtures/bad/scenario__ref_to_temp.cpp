@@ -1,0 +1,30 @@
+// Fixture: a reference bound to a free-function temporary that stays live
+// across co_await. Lifetime extension ties the temporary to the reference's
+// scope, but a parked coroutine frame resumes in a different activation —
+// copy into a value instead.
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace droute::analyze_fixture {
+
+inline std::string provider_label(int id) {
+  return "provider-" + std::to_string(id);
+}
+
+sim::Task<void> announce(sim::Simulator& simulator, int id) {
+  const std::string& label = provider_label(id);  // expect: suspend-ref-to-temporary
+  auto wait = sim::delay(simulator, 1.0);
+  co_await wait;
+  (void)label;
+}
+
+sim::Task<void> announce_by_value(sim::Simulator& simulator, int id) {
+  const std::string label = provider_label(id);  // value copy: clean
+  auto wait = sim::delay(simulator, 1.0);
+  co_await wait;
+  (void)label;
+}
+
+}  // namespace droute::analyze_fixture

@@ -1,0 +1,19 @@
+// Fixture: ordered containers keyed by pointer iterate in allocator
+// address order, which differs run to run — the one nondeterminism ASan
+// tends to *hide* (its quarantine changes the addresses).
+#include <map>
+#include <set>
+
+namespace droute::analyze_fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct Scheduler {
+  std::map<Node*, double> deadline_by_node;  // expect: determinism-pointer-key
+  std::set<const Node*> visited;             // expect: determinism-pointer-key
+  std::map<int, Node*> node_by_id;           // pointer value, int key: clean
+};
+
+}  // namespace droute::analyze_fixture

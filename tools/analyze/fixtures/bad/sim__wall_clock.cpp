@@ -1,0 +1,20 @@
+// Fixture: ambient time/entropy inside a sim-deterministic subsystem.
+// File name maps to src/sim/wall_clock.cpp under --fixture-mode, so the
+// determinism rules treat it as simulator code.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace droute::analyze_fixture {
+
+double wall_clock_sample() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect: determinism-wall-clock
+  (void)t0;
+  return static_cast<double>(std::rand());  // expect: determinism-wall-clock
+}
+
+long seed_from_entropy() {
+  return static_cast<long>(::time(nullptr));  // expect: determinism-wall-clock
+}
+
+}  // namespace droute::analyze_fixture

@@ -1,0 +1,21 @@
+// Fixture: calling a task coroutine as a bare statement drops the only
+// handle while the body keeps running inside the simulator — nothing can
+// join, cancel, or even observe it finish.
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace droute::analyze_fixture {
+
+sim::Task<void> heartbeat(sim::Simulator& simulator) {
+  auto tick = sim::delay(simulator, 1.0);
+  co_await tick;
+}
+
+void fire_and_forget(sim::Simulator& simulator) {
+  heartbeat(simulator);  // expect: coroutine-discarded-task
+  if (simulator.now() > 0.0) heartbeat(simulator);  // expect: coroutine-discarded-task
+  auto held = heartbeat(simulator);  // bound handle: clean
+  held.cancel();
+}
+
+}  // namespace droute::analyze_fixture

@@ -1,0 +1,32 @@
+// Fixture: coroutine lambdas borrowing their enclosing stack frame. The
+// frame suspends past the scope that owns the captures, so `[&]` and
+// `[this]` are flagged; value captures are stack-safe and stay clean.
+#include "sim/task.h"
+
+namespace droute::analyze_fixture {
+
+struct Retrier {
+  int budget = 3;
+
+  void spawn_all() {
+    auto by_ref = [&]() -> sim::Task<> {  // expect: coroutine-ref-capture
+      ++budget;
+      co_return;
+    };
+    auto by_this = [this]() -> sim::Task<> {  // expect: coroutine-ref-capture
+      --budget;
+      co_return;
+    };
+    const int snapshot = budget;
+    auto by_value = [snapshot]() -> sim::Task<int> {  // value capture: clean
+      co_return snapshot;
+    };
+    auto plain = [&] { return budget; };  // not a coroutine: clean
+    (void)by_ref;
+    (void)by_this;
+    (void)by_value;
+    (void)plain;
+  }
+};
+
+}  // namespace droute::analyze_fixture

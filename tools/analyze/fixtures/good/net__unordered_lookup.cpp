@@ -1,0 +1,22 @@
+// Fixture: unordered containers used for membership and lookup only. No
+// iteration order ever escapes, so this is clean even inside a
+// sim-deterministic subsystem (src/net under fixture mapping).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace droute::analyze_fixture {
+
+struct LinkTable {
+  std::unordered_map<std::string, int> index_by_name;
+  std::unordered_set<int> active;
+
+  int lookup(const std::string& name) const {
+    auto it = index_by_name.find(name);
+    return it == index_by_name.end() ? -1 : it->second;
+  }
+
+  bool is_active(int id) const { return active.count(id) != 0; }
+};
+
+}  // namespace droute::analyze_fixture

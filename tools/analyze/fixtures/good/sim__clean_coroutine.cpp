@@ -1,0 +1,27 @@
+// Fixture: idiomatic task code that every rule must leave alone — bound
+// handles, lvalue awaits (or the documented rvalue-safe factories), value
+// captures, sim-time only.
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace droute::analyze_fixture {
+
+sim::Task<int> ping(sim::Simulator& simulator, int rounds) {
+  int completed = 0;
+  for (int i = 0; i < rounds; ++i) {
+    const bool ran = co_await sim::delay(simulator, 0.25);
+    if (!ran) co_return completed;  // cancelled mid-sleep
+    ++completed;
+  }
+  co_return completed;
+}
+
+sim::Task<int> run_pair(sim::Simulator& simulator) {
+  auto first = ping(simulator, 2);
+  auto second = ping(simulator, 3);
+  auto first_result = co_await first;
+  auto second_result = co_await second;
+  co_return first_result.value_or(0) + second_result.value_or(0);
+}
+
+}  // namespace droute::analyze_fixture

@@ -1,0 +1,18 @@
+// Fixture: a violation waived with a stated reason. The rule stays quiet,
+// the waiver is "used" (so not stale), and the reason survives into the
+// JSON report for auditors.
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace droute::analyze_fixture {
+
+sim::Task<void> beacon(sim::Simulator& simulator) {
+  auto wait = sim::delay(simulator, 5.0);
+  co_await wait;
+}
+
+void detach_beacon(sim::Simulator& simulator) {
+  beacon(simulator);  // analyze: allow(coroutine-discarded-task) — fixture models a daemon joined by Simulator teardown
+}
+
+}  // namespace droute::analyze_fixture

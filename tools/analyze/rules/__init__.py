@@ -1,0 +1,47 @@
+"""Rule-plugin registry for droute-analyze.
+
+A rule is a class with:
+
+    name        kebab-case rule id (what waivers name)
+    summary     one-line description for --list-rules and the JSON report
+    check(model, ctx) -> list[Diagnostic]
+
+Register with @register. Rules are pure functions of the FileModel (filled
+by either engine) plus the cross-file AnalysisContext, so adding a rule
+never touches the engines. See DESIGN.md §13 "How to add a rule".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Diagnostic:
+    file: str          # repo-relative path
+    line: int
+    rule: str
+    message: str
+    waived: bool = False
+    waiver_reason: str = ""
+
+
+@dataclass
+class AnalysisContext:
+    """Cross-file facts collected in the first pass over every model."""
+    task_functions: set[str] = field(default_factory=set)
+    unordered_vars: set[str] = field(default_factory=set)
+
+
+_RULES: list[type] = []
+
+
+def register(rule_cls: type) -> type:
+    _RULES.append(rule_cls)
+    return rule_cls
+
+
+def all_rules() -> list[type]:
+    # import for side effect of registration
+    from . import coroutine, determinism, suspension  # noqa: F401
+    return sorted(_RULES, key=lambda r: r.name)

@@ -1,0 +1,178 @@
+"""Determinism rules: byte-identical same-seed replay is the contract every
+bench figure, the fabric-equivalence suite, and the chaos replay corpus
+stand on (DESIGN.md §13). These rules catch the three classic ways C++
+code goes nondeterministic without failing a single test locally:
+
+  * wall-clock / ambient randomness in a simulated subsystem,
+  * iteration over hash containers feeding digests/serialization/schedules,
+  * ordered containers keyed by pointer (address-space layout order).
+"""
+
+from __future__ import annotations
+
+from . import AnalysisContext, Diagnostic, register
+from model import FileModel  # noqa: E402  (sys.path set up by run.py)
+
+RULE_WALL_CLOCK = "determinism-wall-clock"
+RULE_UNORDERED_ITER = "determinism-unordered-iter"
+RULE_POINTER_KEY = "determinism-pointer-key"
+
+# Identifiers that read ambient time or entropy. Matched as whole tokens,
+# never inside member access on an object (obj.rand() is someone's API).
+_BANNED_IDS = frozenset(
+    {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "random_device", "srand", "gettimeofday", "timespec_get",
+        "clock_gettime", "localtime", "gmtime", "mktime",
+    }
+)
+# Banned only as free-function calls (the bare names are common words).
+_BANNED_CALLS = frozenset({"rand", "time", "clock"})
+
+# Tokens in a loop body that mean "this iteration's order escapes": digest
+# accumulation, serialization / text export, metric export, or event
+# scheduling. Extend the list when a new sink family appears.
+_ORDER_SINKS = frozenset(
+    {
+        "digest", "fnv1a", "hash", "hash_combine", "update", "md5", "sha1",
+        "sha256", "checksum", "write", "print", "printf", "snprintf",
+        "format", "serialize", "render", "dump", "csv", "json",
+        "schedule", "schedule_in", "schedule_at", "call_at",
+        "counter", "gauge", "histogram", "count", "push_back",
+        "emplace_back", "append", "insert",
+    }
+)
+
+
+@register
+class WallClockRule:
+    name = RULE_WALL_CLOCK
+    summary = (
+        "no wall-clock or ambient randomness (system_clock, steady_clock, "
+        "rand(), std::random_device, ...) inside sim-deterministic "
+        "subsystems (src/{sim,net,transfer,cloud,chaos,scenario})"
+    )
+
+    def check(self, model: FileModel, ctx: AnalysisContext) -> list[Diagnostic]:
+        if not model.is_deterministic_scope():
+            return []
+        out: list[Diagnostic] = []
+        tokens = model.tokens
+        for i, tok in enumerate(tokens):
+            if tok.kind != "id":
+                continue
+            prev = tokens[i - 1] if i > 0 else None
+            if prev is not None and prev.text in (".", "->"):
+                continue  # member named like a banned symbol: not ambient
+            if prev is not None and prev.text == "::":
+                qualifier = tokens[i - 2] if i >= 2 else None
+                # `foo::rand` is someone's own namespace; `std::`, `chrono::`
+                # and the global `::rand` are the ambient ones.
+                if (
+                    qualifier is not None
+                    and qualifier.kind == "id"
+                    and qualifier.text not in ("std", "chrono")
+                ):
+                    continue
+            hit = tok.text in _BANNED_IDS
+            if not hit and tok.text in _BANNED_CALLS:
+                nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+                hit = nxt is not None and nxt.text == "("
+            if hit:
+                out.append(
+                    Diagnostic(
+                        file=model.rel,
+                        line=tok.line,
+                        rule=self.name,
+                        message=(
+                            f"`{tok.text}` reads ambient time/entropy inside "
+                            f"sim-deterministic subsystem "
+                            f"`{model.subsystem()}` — thread sim::Time or "
+                            "util::Rng through instead"
+                        ),
+                    )
+                )
+        return out
+
+
+@register
+class UnorderedIterRule:
+    name = RULE_UNORDERED_ITER
+    summary = (
+        "no range-iteration over unordered_{map,set} in sim-deterministic "
+        "subsystems; elsewhere, none whose loop body feeds a digest, "
+        "serialization, metric export, or event schedule"
+    )
+
+    def check(self, model: FileModel, ctx: AnalysisContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        known = model.unordered_vars | ctx.unordered_vars
+        deterministic = model.is_deterministic_scope()
+        for loop in model.range_fors:
+            over_unordered = any(
+                t.kind == "id" and (t.text in known or "unordered_" in t.text)
+                for t in loop.range_tokens
+            )
+            if not over_unordered:
+                continue
+            lo, hi = loop.body
+            sinks = sorted(
+                {
+                    t.text
+                    for t in model.tokens[lo : hi + 1]
+                    if (t.kind == "id" and t.text in _ORDER_SINKS)
+                    or t.text == "<<"
+                }
+            )
+            if not deterministic and not sinks:
+                continue
+            if deterministic:
+                why = (
+                    "hash-order iteration inside sim-deterministic "
+                    f"subsystem `{model.subsystem()}`"
+                )
+            else:
+                why = (
+                    "hash-order iteration feeds order-sensitive sink(s): "
+                    + ", ".join(s if s != "<<" else "operator<<" for s in sinks)
+                )
+            out.append(
+                Diagnostic(
+                    file=model.rel,
+                    line=loop.line,
+                    rule=self.name,
+                    message=(
+                        f"range-for over unordered container "
+                        f"(`{loop.range_text}`): {why} — iterate a std::map/"
+                        "sorted vector, or sort keys first"
+                    ),
+                )
+            )
+        return out
+
+
+@register
+class PointerKeyRule:
+    name = RULE_POINTER_KEY
+    summary = (
+        "no std::map/std::set keyed by pointer — iteration order follows "
+        "allocator addresses, which differ run to run"
+    )
+
+    def check(self, model: FileModel, ctx: AnalysisContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for decl in model.pointer_key_decls:
+            out.append(
+                Diagnostic(
+                    file=model.rel,
+                    line=decl.line,
+                    rule=self.name,
+                    message=(
+                        f"ordered container keyed by pointer "
+                        f"(`{decl.type_text}`) — key by a stable id, or use "
+                        "an unordered container if iteration order never "
+                        "escapes"
+                    ),
+                )
+            )
+        return out

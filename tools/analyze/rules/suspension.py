@@ -1,0 +1,92 @@
+"""Suspension-safety rules: what must not be live across a co_await.
+
+A co_await can park the frame for unbounded simulated time (and, in a
+future sharded simulator, can resume on another worker). Two things must
+never span that gap: a held mutex (other tasks in the same event loop
+deadlock or race), and a reference bound to a temporary whose full
+expression already ended when the frame resumes.
+"""
+
+from __future__ import annotations
+
+from . import AnalysisContext, Diagnostic, register
+from model import FileModel  # noqa: E402
+
+RULE_LOCK_ACROSS_AWAIT = "suspend-lock-across-await"
+RULE_REF_TO_TEMPORARY = "suspend-ref-to-temporary"
+
+# Free functions that return references *into their arguments* (no
+# temporary is created), so binding a reference to their result is safe.
+_REF_RETURNING_SAFE = frozenset(
+    {"min", "max", "clamp", "get", "as_const", "forward", "move", "at"}
+)
+
+
+def _last_segment(callee: str) -> str:
+    for sep in (".", "::"):
+        if sep in callee:
+            callee = callee.rsplit(sep, 1)[1]
+    return callee
+
+
+@register
+class LockAcrossAwaitRule:
+    name = RULE_LOCK_ACROSS_AWAIT
+    summary = (
+        "no lock_guard/unique_lock/scoped_lock held across co_await — the "
+        "frame parks with the mutex held for unbounded simulated time"
+    )
+
+    def check(self, model: FileModel, ctx: AnalysisContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for lock in model.lock_decls:
+            for site in model.awaits:
+                if lock.index < site.index <= lock.scope_end:
+                    out.append(
+                        Diagnostic(
+                            file=model.rel,
+                            line=site.line,
+                            rule=self.name,
+                            message=(
+                                f"co_await while a std::{lock.detail} "
+                                f"declared at line {lock.line} is still in "
+                                "scope — release before suspending (scope "
+                                "the lock in a block, or restructure)"
+                            ),
+                        )
+                    )
+                    break  # one diagnostic per lock is enough
+        return out
+
+
+@register
+class RefToTemporaryRule:
+    name = RULE_REF_TO_TEMPORARY
+    summary = (
+        "no reference bound to a free-function temporary live across "
+        "co_await — lifetime extension ends with the frame's suspension "
+        "scope, not the resumed one"
+    )
+
+    def check(self, model: FileModel, ctx: AnalysisContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for decl in model.ref_decls:
+            if _last_segment(decl.detail) in _REF_RETURNING_SAFE:
+                continue
+            for site in model.awaits:
+                if decl.index < site.index <= decl.scope_end:
+                    out.append(
+                        Diagnostic(
+                            file=model.rel,
+                            line=decl.line,
+                            rule=self.name,
+                            message=(
+                                f"reference bound to `{decl.detail}(...)` "
+                                f"temporary is live across the co_await at "
+                                f"line {site.line} — copy into a value, or "
+                                "shorten the reference's scope"
+                            ),
+                        )
+                    )
+                    break
+        return out

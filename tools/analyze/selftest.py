@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fixture self-test for the droute analyzer.
+
+Runs the full analyze() pipeline in fixture mode over
+tools/analyze/fixtures/{bad,good} and asserts exact agreement with the
+inline `// expect: <rule>[, <rule>...]` markers:
+
+  * every marked (file, line, rule) triple must be reported unwaived,
+  * nothing unmarked may be reported,
+  * good/ fixtures carry no markers, so they must come back fully clean.
+
+The comparison is an exact set equality, so the corpus pins both rule
+recall (bad fixtures keep firing) and precision (clean idioms and waived
+sites stay quiet). Registered in ctest as `analyze.ast_rules`; CI re-runs
+it with `--engine clang` so the libclang augmentation stays consistent
+with the built-in syntax engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from run import analyze, rel_path  # noqa: E402
+
+_EXPECT_RE = re.compile(r"//\s*expect:\s*(?P<rules>[a-z][a-z0-9_,\s-]*)")
+
+
+def expected_markers(root: Path, fixture: Path) -> set[tuple[str, int, str]]:
+    out: set[tuple[str, int, str]] = set()
+    rel = rel_path(root, fixture, fixture_mode=True)
+    for idx, line in enumerate(
+        fixture.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(line)
+        if match is None:
+            continue
+        for rule in match.group("rules").split(","):
+            rule = rule.strip()
+            if rule:
+                out.add((rel, idx, rule))
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "clang", "syntax"),
+        default="syntax",
+        help="syntax (default, hermetic) or clang (CI, needs libclang)",
+    )
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent.parent),
+        help="repo root (default: two levels above this script)",
+    )
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    fixtures_dir = Path(__file__).resolve().parent / "fixtures"
+    bad = sorted((fixtures_dir / "bad").glob("*.cpp"))
+    good = sorted((fixtures_dir / "good").glob("*.cpp"))
+    if not bad or not good:
+        print("selftest: fixture corpus missing", file=sys.stderr)
+        return 2
+
+    expected: set[tuple[str, int, str]] = set()
+    for fixture in bad + good:
+        expected |= expected_markers(root, fixture)
+    for fixture in good:
+        if expected_markers(root, fixture):
+            print(f"selftest: good fixture {fixture.name} carries expect "
+                  "markers — move it to bad/", file=sys.stderr)
+            return 2
+
+    try:
+        diagnostics, warnings, engine_used, _ = analyze(
+            root, bad + good, args.engine, None, fixture_mode=True
+        )
+    except EnvironmentError as exc:
+        print(f"selftest: {exc}", file=sys.stderr)
+        return 3
+
+    for warning in warnings:
+        print(f"selftest: warning: {warning}", file=sys.stderr)
+
+    actual = {
+        (d.file, d.line, d.rule) for d in diagnostics if not d.waived
+    }
+
+    missing = sorted(expected - actual)
+    surplus = sorted(actual - expected)
+    for file, line, rule in missing:
+        print(f"MISSED   {file}:{line}: [{rule}] expected but not reported")
+    for file, line, rule in surplus:
+        print(f"SPURIOUS {file}:{line}: [{rule}] reported but not expected")
+
+    if missing or surplus:
+        print(
+            f"selftest: FAIL — {len(missing)} missed, {len(surplus)} spurious "
+            f"({engine_used} engine, {len(bad)} bad + {len(good)} good fixtures)"
+        )
+        return 1
+    print(
+        f"selftest: OK — {len(expected)} expected diagnostics matched exactly "
+        f"({engine_used} engine, {len(bad)} bad + {len(good)} good fixtures)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

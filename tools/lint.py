@@ -46,6 +46,11 @@ One rule is scoped to tests/corpus/ instead:
 A line can waive one rule with an inline marker, stating the reason:
     ... // lint: allow(raw-new) — private ctor, owned by unique_ptr
 
+The marker machinery is shared with tools/analyze (tools/waivers.py): a
+waiver only counts when its rule actually fired on that line, and a waiver
+that suppressed nothing is reported as a `waiver-stale` violation so
+markers cannot rot in place.
+
 Usage: tools/lint.py [repo-root]
 Exits non-zero iff violations were found.
 """
@@ -56,7 +61,9 @@ import re
 import sys
 from pathlib import Path
 
-ALLOW_RE = re.compile(r"lint:\s*allow\((?P<rule>[a-z-]+)\)")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from waivers import WaiverSet  # noqa: E402
 
 # Expressions whose comparison with == / != almost certainly means "compare
 # simulated times exactly", which the fluid model never guarantees.
@@ -138,26 +145,40 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.violations: list[str] = []
+        # WaiverSet for the file currently being linted; report() consults
+        # it so every check detects first and suppresses second (which is
+        # what lets stale waivers be noticed at all).
+        self._waivers = WaiverSet()
 
     def report(self, path: Path, line_no: int, rule: str, message: str) -> None:
+        if self._waivers.allows(line_no, rule):
+            return
         rel = path.relative_to(self.root)
         self.violations.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+    def report_stale_waivers(self, path: Path) -> None:
+        for waiver in self._waivers.stale():
+            rel = path.relative_to(self.root)
+            self.violations.append(
+                f"{rel}:{waiver.line_no}: [waiver-stale] "
+                f"`lint: allow({waiver.rule})` suppresses nothing — the "
+                "violation moved or was fixed; delete the marker"
+            )
+        self._waivers = WaiverSet()
 
     def lint_file(self, path: Path) -> None:
         rel = path.relative_to(self.root)
         text = path.read_text(encoding="utf-8")
         raw_lines = text.splitlines()
+        self._waivers = WaiverSet.parse(raw_lines, "lint")
 
         if path.suffix == ".h":
             self.check_pragma_once(path, raw_lines)
 
-        # Build comment-stripped lines (tracking /* */ state across lines)
-        # while remembering per-line waivers.
+        # Build comment-stripped lines (tracking /* */ state across lines).
         stripped: list[str] = []
-        waivers: list[set[str]] = []
         in_block = False
         for line in raw_lines:
-            waivers.append({m.group("rule") for m in ALLOW_RE.finditer(line)})
             if in_block:
                 end = line.find("*/")
                 if end == -1:
@@ -181,14 +202,15 @@ class Linter:
         in_transfer = rel.parts[: len(JOB_STATE_SCOPE)] == JOB_STATE_SCOPE
         for idx, code in enumerate(stripped):
             line_no = idx + 1
-            self.check_raw_new(path, line_no, code, waivers[idx])
+            self.check_raw_new(path, line_no, code)
             if rel not in TIME_EQ_EXEMPT:
-                self.check_time_eq(path, line_no, code, waivers[idx])
-            self.check_metric_name(path, line_no, raw_lines[idx], waivers[idx])
+                self.check_time_eq(path, line_no, code)
+            self.check_metric_name(path, line_no, raw_lines[idx])
             if in_transfer:
-                self.check_job_state(path, line_no, code, waivers[idx])
+                self.check_job_state(path, line_no, code)
         if path.suffix == ".h":
-            self.check_nodiscard(path, stripped, waivers)
+            self.check_nodiscard(path, stripped)
+        self.report_stale_waivers(path)
 
     def check_pragma_once(self, path: Path, lines: list[str]) -> None:
         for line in lines:
@@ -199,11 +221,7 @@ class Linter:
                 break  # some other directive came first
         self.report(path, 1, "pragma-once", "header is missing #pragma once")
 
-    def check_raw_new(
-        self, path: Path, line_no: int, code: str, allowed: set[str]
-    ) -> None:
-        if "raw-new" in allowed:
-            return
+    def check_raw_new(self, path: Path, line_no: int, code: str) -> None:
         # `= delete`d special members are declarations, not deallocations.
         code = re.sub(r"=\s*delete\b", "", code)
         if NEW_DELETE_RE.search(code):
@@ -213,11 +231,7 @@ class Linter:
                 "(waive with `lint: allow(raw-new)` and a reason)",
             )
 
-    def check_job_state(
-        self, path: Path, line_no: int, code: str, allowed: set[str]
-    ) -> None:
-        if "job-state" in allowed:
-            return
+    def check_job_state(self, path: Path, line_no: int, code: str) -> None:
         if JOB_STATE_RE.search(code):
             self.report(
                 path, line_no, "job-state",
@@ -226,11 +240,7 @@ class Linter:
                 "`lint: allow(job-state)` and a reason)",
             )
 
-    def check_time_eq(
-        self, path: Path, line_no: int, code: str, allowed: set[str]
-    ) -> None:
-        if "time-eq" in allowed:
-            return
+    def check_time_eq(self, path: Path, line_no: int, code: str) -> None:
         if TIME_EQ_RE.search(code):
             self.report(
                 path, line_no, "time-eq",
@@ -238,11 +248,7 @@ class Linter:
                 "or sim::time_ne with an explicit epsilon",
             )
 
-    def check_metric_name(
-        self, path: Path, line_no: int, raw: str, allowed: set[str]
-    ) -> None:
-        if "metric-name" in allowed:
-            return
+    def check_metric_name(self, path: Path, line_no: int, raw: str) -> None:
         for match in METRIC_CALL_RE.finditer(raw):
             kind = match.group("kind")
             name = match.group("name")
@@ -272,12 +278,8 @@ class Linter:
                     f"({', '.join(HISTOGRAM_UNIT_SUFFIXES)})",
                 )
 
-    def check_nodiscard(
-        self, path: Path, lines: list[str], waivers: list[set[str]]
-    ) -> None:
+    def check_nodiscard(self, path: Path, lines: list[str]) -> None:
         for idx, code in enumerate(lines):
-            if "nodiscard" in waivers[idx]:
-                continue
             if not NODISCARD_DECL_RE.match(code):
                 continue
             if "(" not in code or DECL_EXCLUDE_RE.search(code):
@@ -291,11 +293,11 @@ class Linter:
                 )
 
     def check_bench_file(self, path: Path) -> None:
-        for idx, raw in enumerate(path.read_text(encoding="utf-8").splitlines()):
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        self._waivers = WaiverSet.parse(raw_lines, "lint")
+        for idx, raw in enumerate(raw_lines):
             if raw.lstrip().startswith("#"):
                 continue  # the macro's own #define in harness.h
-            if "bench-unit" in {m.group("rule") for m in ALLOW_RE.finditer(raw)}:
-                continue
             for match in BENCH_CASE_RE.finditer(raw):
                 unit = match.group("unit").strip()
                 if not BENCH_UNIT_OK_RE.match(unit):
@@ -305,6 +307,7 @@ class Linter:
                         "unit as a non-empty string literal (got "
                         f"{unit or 'nothing'})",
                     )
+        self.report_stale_waivers(path)
 
     def check_corpus_case(self, path: Path) -> None:
         lines = path.read_text(encoding="utf-8").splitlines()

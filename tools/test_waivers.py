@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/waivers.py — the inline-waiver machinery shared by
+lint.py and tools/analyze/run.py. The contract under test:
+
+  * both marker grammars parse (lint's bare reason, analyze's dashed one),
+  * a waiver suppresses exactly its (line, rule) pair,
+  * a waiver nothing fired on is reported stale — the rot-detection that
+    keeps markers from accumulating,
+  * a reason-less waiver is surfaced by missing_reason(),
+  * the two tools' markers never bleed into each other's sets.
+
+Registered in ctest as `analyze.waivers`.
+"""
+
+from __future__ import annotations
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from waivers import WaiverSet
+
+
+SOURCE = """\
+int* p = new int(7);  // lint: allow(raw-new) private ctor, owned by unique_ptr
+auto t = now();  // analyze: allow(determinism-wall-clock) — replay harness stamps real time
+spawn();  // analyze: allow(coroutine-discarded-task)
+clean_line();
+// analyze: allow(determinism-pointer-key) — excused a map that was deleted
+""".splitlines()
+
+
+class ParseTest(unittest.TestCase):
+    def test_tools_are_separated(self):
+        lint = WaiverSet.parse(SOURCE, "lint")
+        analyze = WaiverSet.parse(SOURCE, "analyze")
+        self.assertEqual([w.rule for w in lint.all()], ["raw-new"])
+        self.assertEqual(
+            [w.rule for w in analyze.all()],
+            [
+                "determinism-wall-clock",
+                "coroutine-discarded-task",
+                "determinism-pointer-key",
+            ],
+        )
+
+    def test_reason_with_and_without_dash(self):
+        lint = WaiverSet.parse(SOURCE, "lint")
+        analyze = WaiverSet.parse(SOURCE, "analyze")
+        # lint's historical grammar: reason follows the paren with no dash.
+        self.assertEqual(
+            lint.get(1, "raw-new").reason,
+            "private ctor, owned by unique_ptr",
+        )
+        # analyze's grammar: em-dash introducer is stripped.
+        self.assertEqual(
+            analyze.get(2, "determinism-wall-clock").reason,
+            "replay harness stamps real time",
+        )
+
+    def test_reason_stops_before_trailing_comment(self):
+        ws = WaiverSet.parse(
+            ["x();  // analyze: allow(some-rule) — real reason  // expect: some-rule"],
+            "analyze",
+        )
+        self.assertEqual(ws.get(1, "some-rule").reason, "real reason")
+
+    def test_trailing_comment_alone_is_not_a_reason(self):
+        ws = WaiverSet.parse(
+            ["x();  // analyze: allow(some-rule)  // expect: some-rule"],
+            "analyze",
+        )
+        self.assertEqual(ws.get(1, "some-rule").reason, "")
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_allows_exact_line_and_rule_only(self):
+        ws = WaiverSet.parse(SOURCE, "analyze")
+        self.assertTrue(ws.allows(2, "determinism-wall-clock"))
+        self.assertFalse(ws.allows(2, "coroutine-discarded-task"))
+        self.assertFalse(ws.allows(3, "determinism-wall-clock"))
+
+    def test_stale_waiver_is_reported_as_error(self):
+        ws = WaiverSet.parse(SOURCE, "analyze")
+        # The checker fires on lines 2 and 3 but nothing ever fires on the
+        # pointer-key waiver at line 5 — that marker rotted.
+        ws.allows(2, "determinism-wall-clock")
+        ws.allows(3, "coroutine-discarded-task")
+        stale = ws.stale()
+        self.assertEqual(
+            [(w.line_no, w.rule) for w in stale],
+            [(5, "determinism-pointer-key")],
+        )
+
+    def test_all_stale_when_nothing_fires(self):
+        ws = WaiverSet.parse(SOURCE, "analyze")
+        self.assertEqual(len(ws.stale()), 3)
+
+
+class MissingReasonTest(unittest.TestCase):
+    def test_missing_reason_surfaced(self):
+        ws = WaiverSet.parse(SOURCE, "analyze")
+        self.assertEqual(
+            [(w.line_no, w.rule) for w in ws.missing_reason()],
+            [(3, "coroutine-discarded-task")],
+        )
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

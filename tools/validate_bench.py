@@ -14,12 +14,22 @@ Schema (emitted by bench/harness.cpp, consumed by the nightly CI bench job):
   * `events` >= 0 and `events_per_sec` >= 0 (0 when events is 0);
   * `extras` an object mapping string keys to finite numbers.
 
-Usage: tools/validate_bench.py <BENCH_*.json>...
+Usage: tools/validate_bench.py [--against BASELINE.json] <BENCH_*.json>...
 Exits non-zero iff any report is invalid; prints a summary line per file.
+
+With --against, every report is additionally diffed case-by-case against
+the committed baseline (bench/baselines/): a case regresses when its
+median exceeds the baseline median by more than the regression budget —
+15 %, widened to the baseline's own relative sample spread when that is
+larger, so a case whose baseline run was noisy does not gate on noise.
+A case present in the baseline but missing from the new report is an
+error (a silently dropped benchmark is how coverage rots); a new case
+absent from the baseline is reported informationally.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import sys
@@ -27,6 +37,10 @@ from pathlib import Path
 
 SCHEMA = "droute-bench-v1"
 STAT_KEYS = ("median_ms", "p95_ms", "mean_ms", "min_ms", "max_ms")
+
+# A median may drift this much above baseline before the diff fails, unless
+# the baseline's own samples spread wider (then the spread is the budget).
+REGRESSION_BUDGET = 0.15
 
 
 def finite_number(value: object) -> bool:
@@ -140,13 +154,93 @@ def validate(path: Path) -> list[str]:
     return errors
 
 
+def _cases_by_name(path: Path) -> dict[str, dict] | None:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    cases = document.get("cases") if isinstance(document, dict) else None
+    if not isinstance(cases, list):
+        return None
+    return {
+        c["name"]: c
+        for c in cases
+        if isinstance(c, dict) and isinstance(c.get("name"), str)
+    }
+
+
+def diff_against(baseline_path: Path, report_path: Path) -> list[str]:
+    """Compares report medians to the committed baseline, case by case."""
+    errors: list[str] = []
+    baseline = _cases_by_name(baseline_path)
+    report = _cases_by_name(report_path)
+    if baseline is None:
+        return [f"cannot read baseline {baseline_path}"]
+    if report is None:
+        return [f"cannot read report {report_path}"]
+
+    for name in sorted(baseline):
+        base = baseline[name]
+        new = report.get(name)
+        if new is None:
+            errors.append(
+                f"case {name!r} is in the baseline but missing from the new "
+                "report — a dropped benchmark must be removed from the "
+                "baseline explicitly"
+            )
+            continue
+        base_median = base.get("median_ms")
+        new_median = new.get("median_ms")
+        if not finite_number(base_median) or not finite_number(new_median):
+            errors.append(f"case {name!r}: median_ms missing or non-finite")
+            continue
+        if base_median <= 0:
+            print(f"  {name}: baseline median is 0 ms — skipped")
+            continue
+        regression = (new_median - base_median) / base_median
+        # The baseline run's own relative spread is its noise band; a case
+        # that jittered 40% when the baseline was recorded cannot be gated
+        # at 15%.
+        spread = 0.0
+        if finite_number(base.get("min_ms")) and finite_number(base.get("max_ms")):
+            spread = (base["max_ms"] - base["min_ms"]) / base_median
+        budget = max(REGRESSION_BUDGET, spread)
+        verdict = "OK"
+        if regression > budget:
+            verdict = "REGRESSED"
+            errors.append(
+                f"case {name!r}: median {new_median:.6g} ms is "
+                f"{regression * 100:+.1f}% vs baseline {base_median:.6g} ms "
+                f"(budget {budget * 100:.0f}%)"
+            )
+        print(
+            f"  {name}: {base_median:.6g} -> {new_median:.6g} ms "
+            f"({regression * 100:+.1f}%, budget {budget * 100:.0f}%) {verdict}"
+        )
+    for name in sorted(set(report) - set(baseline)):
+        print(f"  {name}: new case, not in baseline (informational)")
+    return errors
+
+
 def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description="Validate droute-bench-v1 reports"
+    )
+    parser.add_argument("reports", nargs="+", metavar="BENCH.json")
+    parser.add_argument(
+        "--against",
+        metavar="BASELINE.json",
+        default=None,
+        help="also diff each report's medians against this baseline",
+    )
+    args = parser.parse_args()
+
     status = 0
-    for arg in sys.argv[1:]:
+    for arg in args.reports:
         errors = validate(Path(arg))
+        if not errors and args.against:
+            print(f"{arg}: diff against {args.against}")
+            errors = diff_against(Path(args.against), Path(arg))
         for error in errors:
             print(f"validate_bench: {arg}: {error}", file=sys.stderr)
         if errors:

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Shared inline-waiver machinery for droute's source checkers.
+
+Both checkers use the same marker grammar, distinguished by tool prefix:
+
+    ... // lint: allow(raw-new) — private ctor, owned by unique_ptr
+    ... // analyze: allow(coroutine-ref-capture) — joined before captures die
+
+A waiver suppresses one rule on the line that carries the marker. The
+reason text after the rule (introduced by an em/en dash or hyphen, or just
+trailing words) is kept so reports can show *why* a site was waived.
+
+Staleness: a waiver is only "used" when its rule actually fired on that
+line and was suppressed. After a run, `stale()` returns every waiver that
+suppressed nothing — the code moved or was fixed and the marker rotted.
+Both lint.py and tools/analyze/run.py report stale waivers as errors so
+waivers cannot silently accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+# Marker grammar. The rule name allows lint's kebab names and the
+# analyzer's kebab names alike; the reason is everything after the closing
+# paren, minus a leading dash of any flavor.
+_WAIVER_RE = re.compile(
+    r"(?P<tool>lint|analyze):\s*allow\((?P<rule>[a-z][a-z0-9_.-]*)\)"
+    r"[ \t]*(?:[—–-]+[ \t]*)?(?P<reason>.*?)\s*(?:(?://|/\*|\*/).*)?$"
+)
+
+
+@dataclass
+class Waiver:
+    line_no: int
+    rule: str
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+
+class WaiverSet:
+    """All waivers of one tool in one file, with use tracking."""
+
+    def __init__(self, waivers: Iterable[Waiver] = ()):
+        self._by_key: dict[tuple[int, str], Waiver] = {
+            (w.line_no, w.rule): w for w in waivers
+        }
+
+    @classmethod
+    def parse(cls, lines: Iterable[str], tool: str) -> "WaiverSet":
+        waivers = []
+        for idx, line in enumerate(lines):
+            for match in _WAIVER_RE.finditer(line):
+                if match.group("tool") != tool:
+                    continue
+                waivers.append(
+                    Waiver(
+                        line_no=idx + 1,
+                        rule=match.group("rule"),
+                        reason=match.group("reason").strip(),
+                    )
+                )
+        return cls(waivers)
+
+    def allows(self, line_no: int, rule: str) -> bool:
+        """True (and marks the waiver used) iff `rule` is waived on this line."""
+        waiver = self._by_key.get((line_no, rule))
+        if waiver is None:
+            return False
+        waiver.used = True
+        return True
+
+    def get(self, line_no: int, rule: str) -> Waiver | None:
+        return self._by_key.get((line_no, rule))
+
+    def all(self) -> list[Waiver]:
+        return sorted(self._by_key.values(), key=lambda w: (w.line_no, w.rule))
+
+    def stale(self) -> list[Waiver]:
+        """Waivers that suppressed nothing in this run."""
+        return [w for w in self.all() if not w.used]
+
+    def missing_reason(self) -> list[Waiver]:
+        """Waivers with no stated reason (reported by the analyzer)."""
+        return [w for w in self.all() if not w.reason]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
