@@ -1,6 +1,8 @@
 #include "chaos/injector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -123,6 +125,55 @@ bool Injector::apply_impl(const Event& event) {
                              ? std::max(1, static_cast<int>(event.value))
                              : 0;
       server->set_throttle(budget);
+      return true;
+    }
+    case EventKind::kDiurnalTraffic: {
+      // Diurnal cross-traffic, compressed to simulation scale: the link's
+      // capacity follows base * (1 - depth * (0.5 + 0.5 * sin(...))) over
+      // kDiurnalCycles periods, sampled every kDiurnalPeriodS / kDiurnalSteps
+      // seconds, then returns to base. The whole schedule is laid out at
+      // apply time, so the run still drains to quiescence. The phase is a
+      // deterministic hash of the (seeded) event time, which is how the plan
+      // generator's draw seeds it without widening the Event wire format.
+      if (!valid_link(event.target) || event.value <= 0.0 ||
+          event.value >= 1.0) {
+        return false;
+      }
+      const double depth = std::min(event.value, 0.9);
+      const net::Link& link = topo.link(event.target);
+      const double base = link.capacity_mbps;
+      std::uint64_t at_bits = 0;
+      static_assert(sizeof(at_bits) == sizeof(event.at_s));
+      std::memcpy(&at_bits, &event.at_s, sizeof(at_bits));
+      // SplitMix64 finalizer; phase in [0, 2*pi).
+      at_bits += 0x9e3779b97f4a7c15ull;
+      at_bits = (at_bits ^ (at_bits >> 30)) * 0xbf58476d1ce4e5b9ull;
+      at_bits = (at_bits ^ (at_bits >> 27)) * 0x94d049bb133111ebull;
+      at_bits ^= at_bits >> 31;
+      const double kTwoPi = 6.283185307179586476925286766559;
+      const double phase =
+          kTwoPi * (static_cast<double>(at_bits >> 11) * 0x1.0p-53);
+      sim::Simulator& simulator = *targets_.simulator;
+      const double now = simulator.now();
+      const int total_steps = kDiurnalCycles * kDiurnalSteps;
+      const double step_s =
+          kDiurnalPeriodS / static_cast<double>(kDiurnalSteps);
+      for (int step = 1; step <= total_steps; ++step) {
+        const double offset = step_s * static_cast<double>(step);
+        const double factor =
+            step == total_steps
+                ? 1.0  // last step restores the base capacity exactly
+                : 1.0 - depth * (0.5 + 0.5 * std::sin(kTwoPi * offset /
+                                                          kDiurnalPeriodS +
+                                                      phase));
+        const std::int32_t target = event.target;
+        simulator.schedule_at(now + offset, [this, target, base, factor] {
+          const auto status =
+              targets_.topo->set_link_capacity(target, base * factor);
+          DROUTE_CHECK(status.ok(), "chaos: diurnal set_link_capacity");
+          targets_.fabric->reallocate_now();
+        });
+      }
       return true;
     }
     case EventKind::kNodeCrash:

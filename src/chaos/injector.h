@@ -43,6 +43,13 @@ struct Targets {
   std::vector<cloud::StorageServer*> servers;
 };
 
+/// kDiurnalTraffic shape: the modulation runs kDiurnalCycles full sine
+/// periods of kDiurnalPeriodS simulated seconds, stepped kDiurnalSteps times
+/// per period, then restores the base capacity (bounded, so runs drain).
+inline constexpr double kDiurnalPeriodS = 30.0;
+inline constexpr int kDiurnalCycles = 2;
+inline constexpr int kDiurnalSteps = 8;
+
 class Injector {
  public:
   explicit Injector(Targets targets);

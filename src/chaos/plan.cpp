@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <cstdio>
 #include <sstream>
 #include <utility>
+
+#include "util/fmt.h"
 
 namespace droute::chaos {
 
@@ -15,7 +16,7 @@ struct KindName {
   const char* name;
 };
 
-constexpr std::array<KindName, 12> kKindNames{{
+constexpr std::array<KindName, 13> kKindNames{{
     {EventKind::kLinkFail, "link_fail"},
     {EventKind::kLinkRestore, "link_restore"},
     {EventKind::kRouteWithdraw, "route_withdraw"},
@@ -28,6 +29,7 @@ constexpr std::array<KindName, 12> kKindNames{{
     {EventKind::kThrottleCalm, "throttle_calm"},
     {EventKind::kNodeCrash, "node_crash"},
     {EventKind::kNodeRecover, "node_recover"},
+    {EventKind::kDiurnalTraffic, "diurnal_traffic"},
 }};
 
 }  // namespace
@@ -54,6 +56,7 @@ bool event_targets_link(EventKind kind) {
     case EventKind::kRouteAnnounce:
     case EventKind::kCapacityRewrite:
     case EventKind::kPolicerRewrite:
+    case EventKind::kDiurnalTraffic:
       return true;
     default:
       return false;
@@ -74,13 +77,7 @@ bool event_churns_routes(EventKind kind) {
   }
 }
 
-std::string format_double(double value) {
-  // %.17g survives a strtod round trip exactly; reformatting the parsed
-  // value reproduces the same bytes, which the corpus format relies on.
-  std::array<char, 64> buffer{};
-  std::snprintf(buffer.data(), buffer.size(), "%.17g", value);
-  return buffer.data();
-}
+std::string format_double(double value) { return util::format_double(value); }
 
 std::string format_event(const Event& event) {
   return "event " + format_double(event.at_s) + " " +
@@ -156,7 +153,7 @@ Plan random_plan(util::Rng& rng, const PlanSpec& spec) {
     // Weighted pick over fault families; paired kinds emit both halves so
     // the world usually heals (persistent damage still happens when the
     // pair straddles the horizon or the restore draw lands early).
-    const std::int64_t family = rng.uniform_int(0, 7);
+    const std::int64_t family = rng.uniform_int(0, 8);
     const double at = draw_time();
     switch (family) {
       case 0: {  // link flap: fail + restore
@@ -226,11 +223,19 @@ Plan random_plan(util::Rng& rng, const PlanSpec& spec) {
         emitted += 2;
         break;
       }
-      default: {  // middlebox ceiling appears/clears
+      case 7: {  // middlebox ceiling appears/clears
         if (spec.nodes == 0) break;
         const double mbps = rng.chance(0.3) ? 0.0 : rng.uniform(10.0, 200.0);
         plan.events.push_back(
             {at, EventKind::kMiddleboxRewrite, draw_node(), mbps});
+        emitted += 1;
+        break;
+      }
+      default: {  // diurnal cross-traffic: sinusoidal capacity modulation
+        if (spec.links == 0) break;
+        const double depth = rng.uniform(0.2, 0.7);
+        plan.events.push_back(
+            {at, EventKind::kDiurnalTraffic, draw_link(), depth});
         emitted += 1;
         break;
       }

@@ -34,6 +34,7 @@ enum class EventKind : std::uint8_t {
   kThrottleCalm,      // StorageServer::set_throttle(0) — storm over
   kNodeCrash,         // fail every link adjacent to node (DTN crash)
   kNodeRecover,       // restore every link adjacent to node
+  kDiurnalTraffic,    // sinusoidal capacity modulation (value = depth 0..1)
 };
 
 /// Serialization token for a kind (e.g. "link_fail").

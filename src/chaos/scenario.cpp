@@ -4,10 +4,12 @@
 #include <array>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "chaos/injector.h"
+#include "ctrl/controller.h"
 #include "check/fabric_audit.h"
 #include "check/sim_audit.h"
 #include "check/valley_free.h"
@@ -20,6 +22,7 @@
 #include "transfer/api_upload.h"
 #include "transfer/detour.h"
 #include "transfer/rsync_engine.h"
+#include "transfer/steered.h"
 
 namespace droute::chaos {
 
@@ -30,11 +33,12 @@ struct WorkKindName {
   const char* name;
 };
 
-constexpr std::array<WorkKindName, 4> kWorkKindNames{{
+constexpr std::array<WorkKindName, 5> kWorkKindNames{{
     {WorkKind::kApiUpload, "api_upload"},
     {WorkKind::kDetour, "detour"},
     {WorkKind::kDetourPipelined, "detour_pipelined"},
     {WorkKind::kRsyncPush, "rsync_push"},
+    {WorkKind::kSteered, "steered"},
 }};
 
 double log_uniform(util::Rng& rng, double lo, double hi) {
@@ -102,12 +106,14 @@ Case random_case(std::uint64_t seed, const CaseSpec& spec) {
         log_uniform(work_rng, 256.0 * 1024, 48.0 * 1024 * 1024));
     item.file_seed = work_rng.next_u64();
     const std::int64_t pick = work_rng.uniform_int(0, 9);
-    // 40% direct upload, 30% detour, 15% pipelined detour, 15% rsync.
+    // 40% direct upload, 30% detour, 10% pipelined detour, 10% rsync,
+    // 10% controller-steered upload.
     WorkKind kind = WorkKind::kApiUpload;
     if (pick >= 4 && pick <= 6) kind = WorkKind::kDetour;
     if (pick == 7) kind = WorkKind::kDetourPipelined;
-    if (pick >= 8) kind = WorkKind::kRsyncPush;
-    if (kind != WorkKind::kApiUpload) {
+    if (pick == 8) kind = WorkKind::kRsyncPush;
+    if (pick == 9) kind = WorkKind::kSteered;
+    if (kind != WorkKind::kApiUpload && kind != WorkKind::kSteered) {
       // Detours and rsync need a second endpoint distinct from the client.
       std::vector<int> vias;
       for (int h : clients) {
@@ -147,6 +153,7 @@ struct Stack {
   transfer::ApiUploadEngine* api = nullptr;
   transfer::DetourEngine* detour = nullptr;
   transfer::RsyncEngine* rsync = nullptr;
+  transfer::SteeredUploadEngine* steered = nullptr;  // only with kSteered work
 };
 
 sim::Task<void> drive_item(Stack stack, WorkItem item, WorkOutcome* out) {
@@ -210,6 +217,19 @@ sim::Task<void> drive_item(Stack stack, WorkItem item, WorkOutcome* out) {
       }
       break;
     }
+    case WorkKind::kSteered: {
+      auto task = stack.steered->upload_task(item.client, file);
+      const auto result = co_await task;
+      if (result.ok()) {
+        out->success = result.value().success;
+        out->error = result.value().error;
+        out->end_s = result.value().end_time;
+      } else {
+        out->error = result.error().message;
+        out->end_s = stack.simulator->now();
+      }
+      break;
+    }
   }
   out->done = true;
   co_return;
@@ -251,6 +271,54 @@ RunReport run_case(const Case& c, const RunOptions& options) {
   transfer::DetourEngine detour(&fabric, &api);
   transfer::RsyncEngine rsync(&fabric);
 
+  // kSteered work brings up the online control plane: the controller probes
+  // candidate paths (every non-server host is a potential relay) and the
+  // steered engine consults it per session. The decision hook enforces
+  // ctrl_no_dead_steer live: a routable decision must re-validate leg by
+  // leg against the same route table the controller consulted.
+  const bool has_steered =
+      std::any_of(c.work.begin(), c.work.end(), [](const WorkItem& item) {
+        return item.kind == WorkKind::kSteered;
+      });
+  std::unique_ptr<ctrl::Controller> controller;
+  std::unique_ptr<transfer::SteeredUploadEngine> steered;
+  if (has_steered) {
+    controller = std::make_unique<ctrl::Controller>(simulator, fabric, routes);
+    controller->set_provider(c.server_node);
+    std::vector<int> steered_clients;
+    for (const WorkItem& item : c.work) {
+      if (item.kind != WorkKind::kSteered) continue;
+      if (std::find(steered_clients.begin(), steered_clients.end(),
+                    item.client) == steered_clients.end()) {
+        steered_clients.push_back(item.client);
+      }
+    }
+    for (const int client : steered_clients) controller->add_client(client);
+    for (const int host : c.topology.hosts()) {
+      if (host != c.server_node) controller->add_relay(host);
+    }
+    controller->set_decision_hook(
+        [&fail, &routes, &c](net::NodeId client, const ctrl::Decision& d) {
+          if (!d.routable) return;  // no live path existed; nothing steered
+          net::NodeId prev = client;
+          std::vector<net::NodeId> legs = d.path.relays;
+          legs.push_back(c.server_node);
+          for (const net::NodeId hop : legs) {
+            if (!routes.route(prev, hop).ok()) {
+              fail("ctrl_no_dead_steer",
+                   "decision " + d.path.label() + " for client " +
+                       std::to_string(client) + " has dead leg " +
+                       std::to_string(prev) + " -> " + std::to_string(hop));
+              return;
+            }
+            prev = hop;
+          }
+        });
+    steered = std::make_unique<transfer::SteeredUploadEngine>(
+        &fabric, &api, controller.get());
+    controller->start();
+  }
+
   // Gao–Rexford: every AS pair BGP can route must be valley-free.
   // Unreachable pairs are legitimate under policy routing (e.g. after a
   // shrinker dropped the only transit link), so as_path errors pass.
@@ -281,13 +349,18 @@ RunReport run_case(const Case& c, const RunOptions& options) {
         fail("gao_rexford", st.error().message);
       }
     }
+    // The control plane reacts to every injected fault with an immediate
+    // out-of-band epoch (re-probe + re-steer).
+    if (controller != nullptr) {
+      controller->on_network_event(event_kind_name(event.kind));
+    }
   });
   injector.arm(c.plan);
 
   report.outcomes.resize(c.work.size());
   std::vector<sim::Task<void>> tasks;
   tasks.reserve(c.work.size());
-  const Stack stack{&simulator, &api, &detour, &rsync};
+  const Stack stack{&simulator, &api, &detour, &rsync, steered.get()};
   for (std::size_t i = 0; i < c.work.size(); ++i) {
     tasks.push_back(drive_item(stack, c.work[i], &report.outcomes[i]));
   }
@@ -300,6 +373,9 @@ RunReport run_case(const Case& c, const RunOptions& options) {
     last_stimulus = std::max(last_stimulus, item.start_s);
   }
   simulator.run_until(last_stimulus + kRunAllowanceS);
+  // Stop the controller's epoch loop (and any in-flight probes) before the
+  // drain: its self-rescheduling tick would otherwise never quiesce.
+  if (controller != nullptr) controller->stop();
   for (auto& task : tasks) {
     if (!task.done()) task.cancel();
   }
@@ -368,6 +444,11 @@ RunReport run_case(const Case& c, const RunOptions& options) {
   fnv_mix(digest, fabric.delivered_bytes());
   fnv_mix(digest, server.throttled_requests());
   fnv_mix(digest, simulator.executed_events());
+  if (controller != nullptr) {
+    // Steered runs also pin the full decision trace (mixed only when the
+    // control plane ran, so plain cases keep their historical digests).
+    fnv_mix(digest, controller->trace().fnv1a());
+  }
   report.digest = digest;
   return report;
 }

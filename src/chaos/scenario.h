@@ -21,7 +21,10 @@
 //     after the drain,
 //   * quiescent        — simulator fully drained, no cancelled backlog,
 //   * detour_identity  — successful store-and-forward detours satisfy
-//     duration == leg1 + leg2 (within fluid rounding slack).
+//     duration == leg1 + leg2 (within fluid rounding slack),
+//   * ctrl_no_dead_steer — when steered work is present, every routable
+//     steering decision's legs re-validate against the live route table at
+//     decision time (the controller never steers onto a dead path).
 // The report carries a digest of all observable outcomes; identical seeds
 // must produce identical digests (the determinism property).
 #pragma once
@@ -42,6 +45,7 @@ enum class WorkKind : std::uint8_t {
   kDetour,           // store-and-forward via an intermediate DTN
   kDetourPipelined,  // pipelined detour (legs overlap)
   kRsyncPush,        // bare rsync push client -> DTN (no provider)
+  kSteered,          // upload path chosen online by ctrl::Controller
 };
 
 /// Serialization token for a work kind (e.g. "api_upload").

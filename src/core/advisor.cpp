@@ -34,28 +34,29 @@ Decision RouteAdvisor::recommend(
   const stats::Interval best_iv{best->summary.mean, best->summary.stddev};
   const stats::Interval direct_iv{direct_it->summary.mean,
                                   direct_it->summary.stddev};
-  const bool overlap = stats::error_bars_overlap(best_iv, direct_iv);
-  const double gain =
-      direct_it->summary.mean > 0.0
-          ? (direct_it->summary.mean - best->summary.mean) /
-                direct_it->summary.mean
-          : 0.0;
+  // The shared Sec III-B verdict (stats::judge_lower_better) — the same
+  // decision the online ctrl::PathEstimator applies per epoch.
+  const stats::SignificanceDecision verdict = stats::judge_lower_better(
+      best_iv, direct_iv,
+      {.prefer_baseline_on_overlap = options_.prefer_direct_on_overlap,
+       .min_gain = options_.min_detour_gain});
 
-  if ((overlap && options_.prefer_direct_on_overlap) ||
-      gain < options_.min_detour_gain) {
+  if (!verdict.choose_candidate) {
     decision.route_key = direct_it->key;
     decision.expected_s = direct_it->summary.mean;
     decision.confidence = Confidence::kOverlapping;
     decision.reason =
-        overlap ? "detour error bars overlap direct; keeping direct "
-                  "(paper Sec III-B conservatism)"
-                : "detour gain below configured threshold";
+        verdict.overlap ? "detour error bars overlap direct; keeping direct "
+                          "(paper Sec III-B conservatism)"
+                        : "detour gain below configured threshold";
     return decision;
   }
 
-  decision.confidence = overlap ? Confidence::kOverlapping : Confidence::kClear;
-  decision.reason = "detour beats direct by " +
-                    std::to_string(static_cast<int>(gain * 100.0)) + "%";
+  decision.confidence =
+      verdict.overlap ? Confidence::kOverlapping : Confidence::kClear;
+  decision.reason =
+      "detour beats direct by " +
+      std::to_string(static_cast<int>(verdict.gain * 100.0)) + "%";
   return decision;
 }
 

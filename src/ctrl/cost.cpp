@@ -1,0 +1,33 @@
+#include "ctrl/cost.h"
+
+namespace droute::ctrl {
+
+namespace {
+constexpr double kGb = 1e9;        // decimal GB, matching provider pricing
+constexpr double kHourS = 3600.0;
+}  // namespace
+
+double extra_path_cost_usd(const CostModel& model, int relay_hops,
+                           std::uint64_t bytes, double path_elapsed_s) {
+  if (relay_hops <= 0) return 0.0;
+  const double gb = static_cast<double>(bytes) / kGb;
+  const double hops = static_cast<double>(relay_hops);
+  return model.relay_usd_per_gb * gb * hops +
+         model.relay_rental_usd_per_hour * (path_elapsed_s / kHourS) * hops;
+}
+
+double net_benefit_usd(const CostModel& model, int relay_hops,
+                       std::uint64_t bytes, double direct_s, double path_s) {
+  const double saved_usd =
+      model.value_usd_per_hour_saved * (direct_s - path_s) / kHourS;
+  return saved_usd - extra_path_cost_usd(model, relay_hops, bytes, path_s);
+}
+
+double session_cost_usd(const CostModel& model, int relay_hops,
+                        std::uint64_t bytes, double path_elapsed_s) {
+  const double gb = static_cast<double>(bytes) / kGb;
+  return model.egress_usd_per_gb * gb +
+         extra_path_cost_usd(model, relay_hops, bytes, path_elapsed_s);
+}
+
+}  // namespace droute::ctrl

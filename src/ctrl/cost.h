@@ -1,0 +1,43 @@
+// Cornifer-style cost model: steering is not free. A relayed session pays
+// per-GB forwarding on every relay hop plus amortized relay rental for the
+// time it occupies the chain; choosing it only makes sense when the
+// projected time saved is worth more than that premium. The policy compares
+// candidates by net benefit in dollars, so "faster but wildly expensive"
+// loses to direct on purpose.
+#pragma once
+
+#include <cstdint>
+
+namespace droute::ctrl {
+
+struct CostModel {
+  /// Transit/egress paid per GB on ANY path to the provider (identical for
+  /// every candidate, so it cancels in net_benefit_usd; kept for absolute
+  /// session cost accounting).
+  double egress_usd_per_gb = 0.09;
+  /// Extra forwarding cost per GB per relay hop (DTN bandwidth rental).
+  double relay_usd_per_gb = 0.02;
+  /// Amortized rental per relay-hop-hour while the session occupies it.
+  double relay_rental_usd_per_hour = 0.50;
+  /// What one hour of transfer time saved is worth to the user.
+  double value_usd_per_hour_saved = 10.0;
+};
+
+/// Premium a `relay_hops`-hop path charges over direct for a session of
+/// `bytes` that occupies the chain for `path_elapsed_s` seconds. Zero for
+/// direct (0 hops).
+double extra_path_cost_usd(const CostModel& model, int relay_hops,
+                           std::uint64_t bytes, double path_elapsed_s);
+
+/// Net dollar benefit of steering `bytes` onto a `relay_hops`-hop path with
+/// projected duration `path_s` instead of direct's `direct_s`:
+/// value of time saved minus the relay premium. Direct scores 0 against
+/// itself; negative means the detour is not worth its cost.
+double net_benefit_usd(const CostModel& model, int relay_hops,
+                       std::uint64_t bytes, double direct_s, double path_s);
+
+/// Absolute session cost on a path (egress + relay premium) — reporting.
+double session_cost_usd(const CostModel& model, int relay_hops,
+                        std::uint64_t bytes, double path_elapsed_s);
+
+}  // namespace droute::ctrl

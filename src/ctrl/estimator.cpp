@@ -1,0 +1,65 @@
+#include "ctrl/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/contract.h"
+
+namespace droute::ctrl {
+
+stats::Interval PathStats::interval() const {
+  return {mean_mbps, std::sqrt(std::max(0.0, var_mbps2))};
+}
+
+void PathEstimator::observe(net::NodeId client, net::NodeId provider,
+                            const PathSpec& path, double mbps,
+                            double elapsed_s, std::uint64_t epoch) {
+  DROUTE_DCHECK(mbps >= 0.0 && elapsed_s >= 0.0,
+                "PathEstimator: negative sample");
+  PathStats& st = paths_[Key{client, provider, path}];
+  if (st.samples == 0) {
+    st.mean_mbps = mbps;
+    st.var_mbps2 = 0.0;
+    st.mean_elapsed_s = elapsed_s;
+  } else {
+    // Exponentially weighted mean and variance (West 1979): the variance
+    // update uses the pre-update deviation times the post-update increment,
+    // which keeps it unbiased under the EW weighting.
+    const double alpha = config_.alpha;
+    const double diff = mbps - st.mean_mbps;
+    const double incr = alpha * diff;
+    st.mean_mbps += incr;
+    st.var_mbps2 = (1.0 - alpha) * (st.var_mbps2 + diff * incr);
+    st.mean_elapsed_s += alpha * (elapsed_s - st.mean_elapsed_s);
+  }
+  ++st.samples;
+  st.last_epoch = epoch;
+}
+
+const PathStats* PathEstimator::lookup(net::NodeId client,
+                                       net::NodeId provider,
+                                       const PathSpec& path) const {
+  const auto it = paths_.find(Key{client, provider, path});
+  return it == paths_.end() ? nullptr : &it->second;
+}
+
+std::vector<TivFlag> PathEstimator::flag_tivs(
+    const stats::SignificanceOptions& options) const {
+  std::vector<TivFlag> flags;
+  for (const auto& [key, st] : paths_) {
+    if (key.path.direct() || st.samples == 0) continue;
+    const PathStats* direct =
+        lookup(key.client, key.provider, PathSpec{});
+    if (direct == nullptr || direct->samples == 0) continue;
+    const auto verdict =
+        stats::judge_higher_better(st.interval(), direct->interval(), options);
+    if (verdict.significance != stats::Significance::kCandidateBetter) {
+      continue;
+    }
+    flags.push_back({key.client, key.provider, key.path, st.mean_mbps,
+                     direct->mean_mbps});
+  }
+  return flags;
+}
+
+}  // namespace droute::ctrl

@@ -1,0 +1,93 @@
+// Path-quality estimator: per-(client, provider, path) EWMA throughput and
+// latency estimates, with the paper's Sec III-B error-bar-overlap
+// significance heuristic (stats::judge_higher_better) applied online.
+//
+// Each probe or steered-session sample updates an exponentially weighted
+// mean and variance; the sqrt of the EW variance plays the role of the
+// per-run stddev in the paper's offline protocol, so "are these two paths
+// distinguishable" is the same overlap test RouteAdvisor applies to
+// campaign summaries. flag_tivs() lists the relay paths whose throughput is
+// significantly ABOVE direct — online throughput triangle-inequality
+// violations, the phenomenon the whole paper is about (Sec III).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ctrl/steering.h"
+#include "net/topology.h"
+#include "stats/overlap.h"
+
+namespace droute::ctrl {
+
+struct EstimatorConfig {
+  /// EWMA weight of the newest sample (both mean and variance).
+  double alpha = 0.3;
+};
+
+/// Rolling estimate for one (client, provider, path) triple.
+struct PathStats {
+  double mean_mbps = 0.0;
+  double var_mbps2 = 0.0;      // EW variance of the throughput samples
+  double mean_elapsed_s = 0.0; // EWMA of end-to-end sample latency
+  std::size_t samples = 0;
+  std::uint64_t last_epoch = 0;  // epoch of the newest sample
+
+  stats::Interval interval() const;
+};
+
+/// One online throughput TIV: a relay path significantly faster than direct.
+struct TivFlag {
+  net::NodeId client = net::kInvalidNode;
+  net::NodeId provider = net::kInvalidNode;
+  PathSpec path;
+  double path_mbps = 0.0;
+  double direct_mbps = 0.0;
+};
+
+class PathEstimator {
+ public:
+  PathEstimator() = default;
+  explicit PathEstimator(EstimatorConfig config) : config_(config) {}
+
+  /// Folds one throughput/latency sample into the (client, provider, path)
+  /// estimate. Deterministic: plain arithmetic, ordered storage.
+  void observe(net::NodeId client, net::NodeId provider, const PathSpec& path,
+               double mbps, double elapsed_s, std::uint64_t epoch);
+
+  /// The current estimate, or nullptr when the path was never sampled.
+  const PathStats* lookup(net::NodeId client, net::NodeId provider,
+                          const PathSpec& path) const;
+
+  /// All relay paths whose throughput estimate is significantly better than
+  /// the same (client, provider)'s direct estimate under `options` — the
+  /// per-epoch TIV scan. Deterministic order (sorted by key).
+  std::vector<TivFlag> flag_tivs(
+      const stats::SignificanceOptions& options = {}) const;
+
+  /// Forgets every estimate. The controller calls this on network events:
+  /// mixing pre- and post-event samples into one EWMA inflates the variance
+  /// until the overlap test can no longer distinguish anything.
+  void reset() { paths_.clear(); }
+
+  std::size_t tracked_paths() const { return paths_.size(); }
+
+ private:
+  struct Key {
+    net::NodeId client;
+    net::NodeId provider;
+    PathSpec path;
+
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.client != b.client) return a.client < b.client;
+      if (a.provider != b.provider) return a.provider < b.provider;
+      return a.path < b.path;
+    }
+  };
+
+  EstimatorConfig config_;
+  std::map<Key, PathStats> paths_;
+};
+
+}  // namespace droute::ctrl

@@ -1,0 +1,155 @@
+#include "ctrl/policy.h"
+
+#include <limits>
+
+#include "check/contract.h"
+
+namespace droute::ctrl {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Projected session seconds for `bytes` at the candidate's EWMA mean.
+double expected_s(const SteeringPolicy::Candidate* cand, std::uint64_t bytes) {
+  if (cand == nullptr || cand->stats == nullptr ||
+      cand->stats->samples == 0 || cand->stats->mean_mbps <= 0.0) {
+    return kInf;
+  }
+  const double megabits = static_cast<double>(bytes) * 8.0 / 1e6;
+  return megabits / cand->stats->mean_mbps;
+}
+
+const SteeringPolicy::Candidate* find_path(
+    const std::vector<SteeringPolicy::Candidate>& candidates,
+    const PathSpec& path) {
+  for (const auto& cand : candidates) {
+    if (cand.path == path) return &cand;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PathSpec SteeringPolicy::incumbent(net::NodeId client) const {
+  const auto it = incumbents_.find(client);
+  return it == incumbents_.end() ? PathSpec{} : it->second.path;
+}
+
+Decision SteeringPolicy::decide(net::NodeId client, std::uint64_t bytes,
+                                const std::vector<Candidate>& candidates,
+                                std::uint64_t epoch, double now_s) {
+  const Candidate* direct = find_path(candidates, PathSpec{});
+  DROUTE_CHECK(direct != nullptr,
+               "SteeringPolicy: candidates must include the direct path");
+
+  Decision decision;
+  decision.epoch = epoch;
+  decision.at_s = now_s;
+
+  const double direct_s = expected_s(direct, bytes);
+  const bool direct_known = direct->routable && direct->stats != nullptr &&
+                            direct->stats->samples > 0;
+
+  // Challenger selection (steps 1-3 of the header comment).
+  const Candidate* challenger = direct->routable ? direct : nullptr;
+  std::string gate_reason =
+      direct->routable ? "direct default" : "direct unroutable";
+  if (direct->routable && direct_known) {
+    double best_benefit = config_.min_benefit_usd;
+    for (const Candidate& cand : candidates) {
+      if (cand.path.direct() || !cand.routable || cand.stats == nullptr ||
+          cand.stats->samples == 0) {
+        continue;
+      }
+      const auto verdict = stats::judge_higher_better(
+          cand.stats->interval(), direct->stats->interval(),
+          config_.significance);
+      if (!verdict.choose_candidate) continue;
+      const double benefit = net_benefit_usd(
+          cost_, cand.path.relay_hops(), bytes, direct_s,
+          expected_s(&cand, bytes));
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        challenger = &cand;
+        gate_reason = "relay significant and cost-positive";
+      }
+    }
+  } else if (!direct->routable) {
+    // Emergency reroute: direct is dead, take the best live relay even
+    // without a significance case (conservatism presumes a live baseline).
+    for (const Candidate& cand : candidates) {
+      if (cand.path.direct() || !cand.routable) continue;
+      const double cur_mbps =
+          challenger != nullptr && challenger->stats != nullptr
+              ? challenger->stats->mean_mbps
+              : -1.0;
+      const double alt_mbps =
+          cand.stats != nullptr ? cand.stats->mean_mbps : 0.0;
+      if (challenger == nullptr || alt_mbps > cur_mbps) {
+        challenger = &cand;
+        gate_reason = "emergency reroute off dead direct";
+      }
+    }
+  }
+
+  if (challenger == nullptr) {
+    // Nothing routable at all: fall back to direct and say so; the session
+    // will fail on its own, and ctrl_no_dead_steer skips unroutable
+    // decisions (there was no live path to steer onto).
+    decision.routable = false;
+    decision.reason = "no live path; direct fallback";
+    incumbents_[client] = {PathSpec{}, epoch};
+    return decision;
+  }
+
+  // Hysteresis (step 4).
+  const auto [it, inserted] =
+      incumbents_.try_emplace(client, Incumbent{PathSpec{}, epoch});
+  Incumbent& inc = it->second;
+  const PathSpec before = inc.path;
+  if (inserted) {
+    inc = {challenger->path, epoch};
+    decision.reason = gate_reason + "; first decision";
+  } else {
+    const Candidate* inc_cand = find_path(candidates, inc.path);
+    const bool inc_routable = inc_cand != nullptr && inc_cand->routable;
+    if (!inc_routable) {
+      inc = {challenger->path, epoch};
+      decision.reason = gate_reason + "; incumbent unroutable";
+    } else if (challenger->path == inc.path) {
+      decision.reason = gate_reason + "; incumbent holds";
+    } else if (epoch < inc.since_epoch + config_.min_dwell_epochs) {
+      challenger = inc_cand;
+      decision.reason = "dwell: keeping incumbent";
+    } else if (challenger->path.direct()) {
+      // The relay incumbent no longer has a significant, cost-positive
+      // case; Sec III-B conservatism returns the client to direct.
+      inc = {challenger->path, epoch};
+      decision.reason = "relay no longer justified; returning to direct";
+    } else if (expected_s(challenger, bytes) <
+               (1.0 - config_.switch_margin) * expected_s(inc_cand, bytes)) {
+      inc = {challenger->path, epoch};
+      decision.reason = gate_reason + "; beats incumbent by margin";
+    } else {
+      challenger = inc_cand;
+      decision.reason = "margin: keeping incumbent";
+    }
+  }
+
+  decision.path = challenger->path;
+  decision.routable = challenger->routable;
+  decision.switched = !(challenger->path == before);
+  if (challenger->stats != nullptr && challenger->stats->samples > 0) {
+    decision.expected_mbps = challenger->stats->mean_mbps;
+  }
+  if (!challenger->path.direct() && direct_known &&
+      challenger->stats != nullptr && challenger->stats->samples > 0) {
+    decision.benefit_usd =
+        net_benefit_usd(cost_, challenger->path.relay_hops(), bytes,
+                        direct_s, expected_s(challenger, bytes));
+  }
+  return decision;
+}
+
+}  // namespace droute::ctrl

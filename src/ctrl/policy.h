@@ -1,0 +1,81 @@
+// Steering policy: estimates + cost model + hysteresis -> one Decision.
+//
+// Selection logic per decision:
+//   1. Candidates must be routable as of the decision epoch (no withdrawn
+//      route or failed link on any leg) — the ctrl_no_dead_steer property.
+//   2. A relay path must beat direct under the paper's online significance
+//      test (stats::judge_higher_better on the EWMA intervals): overlapping
+//      error bars keep direct, Sec III-B conservatism.
+//   3. Among significant relays, the cost model picks the best net benefit
+//      (value of projected time saved minus the relay premium); a positive
+//      benefit above min_benefit_usd is required at all.
+//   4. Hysteresis: each client has an incumbent path. The challenger only
+//      displaces it after min_dwell_epochs AND (for relay challengers) a
+//      switch_margin improvement in projected session time — so flapping
+//      estimates don't thrash sessions. An unroutable incumbent is replaced
+//      immediately; a relay incumbent that lost its significance case falls
+//      back to direct once the dwell expires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctrl/cost.h"
+#include "ctrl/estimator.h"
+#include "ctrl/steering.h"
+#include "stats/overlap.h"
+
+namespace droute::ctrl {
+
+struct PolicyConfig {
+  /// Relative projected-time improvement a challenger must show over the
+  /// incumbent before a switch (0.1 = 10% faster).
+  double switch_margin = 0.10;
+  /// Epochs an incumbent is kept before any switch is considered.
+  std::uint64_t min_dwell_epochs = 2;
+  /// Online Sec III-B options for the relay-vs-direct significance test.
+  stats::SignificanceOptions significance;
+  /// Minimum net benefit (USD) a relay must clear to be considered.
+  double min_benefit_usd = 0.0;
+};
+
+class SteeringPolicy {
+ public:
+  /// One candidate path as seen at decision time.
+  struct Candidate {
+    PathSpec path;
+    bool routable = false;
+    const PathStats* stats = nullptr;  // nullptr = never sampled
+  };
+
+  SteeringPolicy(PolicyConfig config, CostModel cost)
+      : config_(config), cost_(cost) {}
+
+  /// Decides the path for a new session. `candidates` must contain the
+  /// direct path; order is the deterministic enumeration order. `epoch` and
+  /// `now_s` stamp the decision.
+  Decision decide(net::NodeId client, std::uint64_t bytes,
+                  const std::vector<Candidate>& candidates,
+                  std::uint64_t epoch, double now_s);
+
+  /// Forgets the client's incumbent (chaos hook: after a network event the
+  /// next decision re-earns its path from scratch).
+  void reset_client(net::NodeId client) { incumbents_.erase(client); }
+
+  /// The client's current incumbent path (direct when none recorded).
+  PathSpec incumbent(net::NodeId client) const;
+
+ private:
+  struct Incumbent {
+    PathSpec path;
+    std::uint64_t since_epoch = 0;
+  };
+
+  PolicyConfig config_;
+  CostModel cost_;
+  std::map<net::NodeId, Incumbent> incumbents_;
+};
+
+}  // namespace droute::ctrl

@@ -36,7 +36,7 @@ Fabric::Fabric(sim::Simulator* simulator, Topology* topo, RouteTable* routes)
   obs_flows_policer_capped_ = obs::counter("net.flows_policer_capped_total");
   obs_realloc_rounds_ = obs::counter("net.realloc_rounds_total");
   obs_realloc_components_ = obs::counter("net.realloc_components_total");
-  obs_realloc_skipped_ = obs::counter("fabric.realloc_skipped_total");
+  obs_realloc_skipped_ = obs::counter("net.realloc_skipped_total");
   obs_flow_duration_ =
       obs::histogram("net.flow_duration_s", obs::duration_bounds_s());
   obs_link_utilization_ =

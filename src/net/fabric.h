@@ -151,7 +151,7 @@ class Fabric {
   void reallocate_now();
 
   /// Times reallocate_now() was skipped because the fabric was idle
-  /// (mirrored by the `fabric.realloc_skipped_total` counter when an obs
+  /// (mirrored by the `net.realloc_skipped_total` counter when an obs
   /// recorder is installed).
   std::uint64_t realloc_skipped() const { return realloc_skipped_; }
 

@@ -7,6 +7,7 @@
 #include "geo/geo.h"
 #include "sim/task.h"
 #include "transfer/rsync_engine.h"
+#include "transfer/steered.h"
 #include "util/logging.h"
 #include "util/units.h"
 
@@ -721,6 +722,42 @@ util::Result<double> World::run_rsync(const std::string& src_node,
     elapsed = fold_elapsed(task.result());
   }
   for (auto& source : cross_) source->stop();
+  return elapsed;
+}
+
+ctrl::Controller& World::make_controller(cloud::ProviderKind provider,
+                                         ctrl::ControllerConfig config) {
+  auto controller = std::make_unique<ctrl::Controller>(simulator_, *fabric_,
+                                                       routes_, config);
+  controller->set_provider(provider_node(provider));
+  for (const Client client : all_clients()) {
+    controller->add_client(client_node(client));
+  }
+  controller->add_relay(intermediate_node(Intermediate::kUAlberta));
+  controller->add_relay(intermediate_node(Intermediate::kUMich));
+  controllers_.push_back(std::move(controller));
+  return *controllers_.back();
+}
+
+util::Result<double> World::run_steered_upload(cloud::ProviderKind provider,
+                                               ctrl::Steering& steering,
+                                               Client client,
+                                               std::uint64_t bytes) {
+  warm_up();
+  const net::NodeId src = client_node(client);
+  transfer::FileSpec file = transfer::make_file_mb(
+      bytes / util::kMB == 0 ? 1 : bytes / util::kMB,
+      config_.seed ^ ++upload_counter_);
+  file.bytes = bytes;
+
+  transfer::SteeredUploadEngine engine(fabric_.get(), &api_engine(provider),
+                                       &steering);
+  util::Result<double> elapsed =
+      util::Error::make("steered upload did not finish (deadline)");
+  auto task = engine.upload_task(src, file);
+  if (drive(simulator_, task, kForegroundDeadlineS)) {
+    elapsed = fold_elapsed(task.result());
+  }
   return elapsed;
 }
 

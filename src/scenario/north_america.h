@@ -25,6 +25,7 @@
 
 #include "cloud/provider.h"
 #include "cloud/storage_server.h"
+#include "ctrl/controller.h"
 #include "measure/campaign.h"
 #include "net/cross_traffic.h"
 #include "net/fabric.h"
@@ -123,6 +124,20 @@ class World {
                                  const std::string& dst_node,
                                  std::uint64_t bytes);
 
+  /// Builds (and owns) an online controller wired to this world: the
+  /// provider's front-end, every paper client, and both intermediates as
+  /// candidate DTN relays. Call start() on the result to begin probing.
+  ctrl::Controller& make_controller(cloud::ProviderKind provider,
+                                    ctrl::ControllerConfig config = {});
+
+  /// Runs one upload whose path is chosen by `steering` (a controller from
+  /// make_controller, or a StaticSteering baseline). Unlike run_upload,
+  /// cross-traffic sources keep running afterwards so a session sequence
+  /// sees a live network.
+  [[nodiscard]] util::Result<double> run_steered_upload(
+      cloud::ProviderKind provider, ctrl::Steering& steering, Client client,
+      std::uint64_t bytes);
+
  private:
   explicit World(const WorldConfig& config);
   void build_topology();
@@ -147,6 +162,9 @@ class World {
   };
   std::map<cloud::ProviderKind, ProviderStack> providers_;
   std::vector<std::unique_ptr<net::CrossTrafficSource>> cross_;
+  // Declared after the fabric: controllers stop() (cancelling probe flows)
+  // before the fabric and simulator are torn down.
+  std::vector<std::unique_ptr<ctrl::Controller>> controllers_;
   std::map<std::string, net::NodeId> names_;
   bool warmed_up_ = false;
   std::uint64_t upload_counter_ = 0;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace droute::stats {
 
@@ -23,6 +24,45 @@ bool error_bars_overlap(const Interval& a, const Interval& b);
 /// True when `candidate` is faster than `baseline` by more than the overlap
 /// criterion allows: candidate.high() < baseline.low().
 bool clearly_faster(const Interval& candidate, const Interval& baseline);
+
+/// How a candidate route compares to the direct baseline under the paper's
+/// Sec III-B heuristic (the one shared decision both the offline
+/// core::RouteAdvisor and the online ctrl::PathEstimator apply).
+enum class Significance : std::uint8_t {
+  kCandidateBetter,     // error bars clear of each other, candidate wins
+  kIndistinguishable,   // bars overlap: "unsure benefits of the detours"
+  kBaselineBetter,      // baseline mean is at least as good
+};
+
+struct SignificanceOptions {
+  /// The paper's conservatism: an overlapping candidate loses to the
+  /// baseline even when its mean is better.
+  bool prefer_baseline_on_overlap = true;
+  /// Minimum relative mean improvement the candidate must show over the
+  /// baseline to be chosen even when clear of overlap (0 = any gain).
+  double min_gain = 0.0;
+};
+
+struct SignificanceDecision {
+  Significance significance = Significance::kBaselineBetter;
+  bool choose_candidate = false;  // the composed verdict, options applied
+  bool overlap = false;           // raw error-bar overlap
+  double gain = 0.0;              // relative mean improvement of candidate
+};
+
+/// Judges `candidate` against `baseline` where LOWER means are better
+/// (transfer times). Encodes: pick the better mean, but fall back to the
+/// baseline when the +/- 1 stddev bars overlap (if configured) or the gain
+/// is below the threshold.
+SignificanceDecision judge_lower_better(const Interval& candidate,
+                                        const Interval& baseline,
+                                        const SignificanceOptions& options = {});
+
+/// Same decision where HIGHER means are better (throughputs); the gain is
+/// the candidate's relative improvement over the baseline mean.
+SignificanceDecision judge_higher_better(
+    const Interval& candidate, const Interval& baseline,
+    const SignificanceOptions& options = {});
 
 /// Welch's t statistic for unequal-variance comparison of two means.
 double welch_t(const Interval& a, std::size_t n_a, const Interval& b,

@@ -1,0 +1,16 @@
+#include "util/fmt.h"
+
+#include <array>
+#include <cstdio>
+
+namespace droute::util {
+
+std::string format_double(double value) {
+  // %.17g survives a strtod round trip exactly; reformatting the parsed
+  // value reproduces the same bytes, which the corpus format relies on.
+  std::array<char, 64> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.17g", value);
+  return buffer.data();
+}
+
+}  // namespace droute::util

@@ -1,0 +1,16 @@
+// Deterministic number formatting shared by every serialized artifact.
+//
+// format_double is the repo's single canonical double-to-text conversion for
+// byte-identical formats (chaos `.case` files, ctrl decision traces): %.17g
+// survives a strtod round trip exactly, so reformatting parsed text
+// reproduces the same bytes.
+#pragma once
+
+#include <string>
+
+namespace droute::util {
+
+/// Canonical shortest-round-trip text for a double (17 significant digits).
+std::string format_double(double value);
+
+}  // namespace droute::util

@@ -27,6 +27,7 @@ TEST(Plan, EventKindNamesRoundTrip) {
       EventKind::kMiddleboxRewrite, EventKind::kFlowAbort,
       EventKind::kThrottleStorm,    EventKind::kThrottleCalm,
       EventKind::kNodeCrash,        EventKind::kNodeRecover,
+      EventKind::kDiurnalTraffic,
   };
   for (EventKind kind : kinds) {
     const std::string name = event_kind_name(kind);
@@ -91,6 +92,8 @@ TEST(Plan, ParseRejectsMalformedLines) {
 TEST(Plan, KindClassifiersAgreeWithInjectorSemantics) {
   EXPECT_TRUE(event_targets_link(EventKind::kLinkFail));
   EXPECT_TRUE(event_targets_link(EventKind::kPolicerRewrite));
+  EXPECT_TRUE(event_targets_link(EventKind::kDiurnalTraffic));
+  EXPECT_FALSE(event_churns_routes(EventKind::kDiurnalTraffic));
   EXPECT_FALSE(event_targets_link(EventKind::kNodeCrash));
   EXPECT_FALSE(event_targets_link(EventKind::kFlowAbort));
   EXPECT_TRUE(event_churns_routes(EventKind::kRouteWithdraw));
@@ -209,6 +212,58 @@ TEST(Injector, ThrottleStormTightensServerBudgetAndCalmClears) {
   EXPECT_EQ(world.server.profile().max_requests_per_window, 2);
   injector.apply({0.0, EventKind::kThrottleCalm, 0, 0.0});
   EXPECT_EQ(world.server.profile().max_requests_per_window, 0);
+}
+
+TEST(Injector, DiurnalTrafficModulatesCapacityAndRestoresBase) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  const double base = world.topo.link(world.forward).capacity_mbps;
+  injector.apply({0.25, EventKind::kDiurnalTraffic, world.forward, 0.5});
+  EXPECT_EQ(injector.injected(), 1u);
+  // The sinusoidal schedule must actually dip capacity (depth 0.5 takes at
+  // least half the swing somewhere across two full cycles)...
+  double min_seen = base;
+  while (world.simulator.pending() > 0) {
+    world.simulator.step();
+    min_seen =
+        std::min(min_seen, world.topo.link(world.forward).capacity_mbps);
+  }
+  EXPECT_LT(min_seen, 0.8 * base);
+  // ...and the final step restores the base rate exactly (quiescence).
+  EXPECT_DOUBLE_EQ(world.topo.link(world.forward).capacity_mbps, base);
+}
+
+TEST(Injector, DiurnalTrafficRejectsBadDepthAndTarget) {
+  SmallWorld world;
+  Injector injector = world.make_injector();
+  injector.apply({0.0, EventKind::kDiurnalTraffic, world.forward, 1.5});
+  injector.apply({0.0, EventKind::kDiurnalTraffic, world.forward, 0.0});
+  injector.apply({0.0, EventKind::kDiurnalTraffic, 999, 0.4});
+  EXPECT_EQ(injector.injected(), 0u);
+  EXPECT_EQ(injector.skipped(), 3u);
+  EXPECT_EQ(world.simulator.pending(), 0u);  // nothing scheduled
+}
+
+TEST(Injector, DiurnalTrafficPhaseIsSeededByEventTime) {
+  // Two events with different at_s draw different phases; same at_s, same
+  // phase — the modulation schedule is a pure function of the event.
+  SmallWorld first;
+  SmallWorld second;
+  Injector a = first.make_injector();
+  Injector b = second.make_injector();
+  a.apply({1.5, EventKind::kDiurnalTraffic, first.forward, 0.5});
+  b.apply({1.5, EventKind::kDiurnalTraffic, second.forward, 0.5});
+  std::vector<double> trace_a;
+  std::vector<double> trace_b;
+  while (first.simulator.pending() > 0) {
+    first.simulator.step();
+    trace_a.push_back(first.topo.link(first.forward).capacity_mbps);
+  }
+  while (second.simulator.pending() > 0) {
+    second.simulator.step();
+    trace_b.push_back(second.topo.link(second.forward).capacity_mbps);
+  }
+  EXPECT_EQ(trace_a, trace_b);
 }
 
 TEST(Injector, ArmedPlanFiresInSimTimeWithPostApplyHook) {

@@ -44,7 +44,8 @@ TEST(RandomCase, WorkItemsReferenceValidHosts) {
     for (const WorkItem& item : c.work) {
       EXPECT_TRUE(is_host(item.client)) << "seed " << seed;
       EXPECT_NE(item.client, c.server_node) << "seed " << seed;
-      if (item.kind != WorkKind::kApiUpload) {
+      // Steered items carry no via: the controller picks the path online.
+      if (item.kind != WorkKind::kApiUpload && item.kind != WorkKind::kSteered) {
         EXPECT_TRUE(is_host(item.via)) << "seed " << seed;
         EXPECT_NE(item.via, item.client) << "seed " << seed;
       }
@@ -85,8 +86,9 @@ TEST(CaseIo, ParseRejectsGarbage) {
 }
 
 TEST(WorkKind, NamesRoundTrip) {
-  for (WorkKind kind : {WorkKind::kApiUpload, WorkKind::kDetour,
-                        WorkKind::kDetourPipelined, WorkKind::kRsyncPush}) {
+  for (WorkKind kind :
+       {WorkKind::kApiUpload, WorkKind::kDetour, WorkKind::kDetourPipelined,
+        WorkKind::kRsyncPush, WorkKind::kSteered}) {
     auto parsed = parse_work_kind(work_kind_name(kind));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(parsed.value(), kind);

@@ -94,6 +94,56 @@ TEST(Overlap, WelchTDetectsDifference) {
   EXPECT_NEAR(df, 8.0, 0.1);  // equal variances -> ~n1+n2-2
 }
 
+TEST(Judge, LowerBetterPicksClearWinnerAndKeepsBaselineOnOverlap) {
+  // Transfer times: the detour finishes in 36 s vs 87 s direct, bars clear.
+  const SignificanceDecision clear =
+      judge_lower_better({35.79, 2.0}, {86.92, 2.0});
+  EXPECT_EQ(clear.significance, Significance::kCandidateBetter);
+  EXPECT_TRUE(clear.choose_candidate);
+  EXPECT_FALSE(clear.overlap);
+  EXPECT_GT(clear.gain, 0.5);
+  // Overlapping bars: Sec III-B conservatism keeps the baseline even though
+  // the candidate mean is better.
+  const SignificanceDecision fuzzy =
+      judge_lower_better({80.0, 10.0}, {86.92, 10.0});
+  EXPECT_EQ(fuzzy.significance, Significance::kIndistinguishable);
+  EXPECT_FALSE(fuzzy.choose_candidate);
+  EXPECT_TRUE(fuzzy.overlap);
+}
+
+TEST(Judge, LowerBetterOverlapPreferenceIsConfigurable) {
+  SignificanceOptions options;
+  options.prefer_baseline_on_overlap = false;
+  const SignificanceDecision verdict =
+      judge_lower_better({80.0, 10.0}, {86.92, 10.0}, options);
+  EXPECT_EQ(verdict.significance, Significance::kIndistinguishable);
+  EXPECT_TRUE(verdict.choose_candidate);  // better mean wins when allowed
+}
+
+TEST(Judge, HigherBetterMirrorsForThroughput) {
+  // Throughputs: candidate 100 Mbps vs baseline 20 Mbps, bars clear.
+  const SignificanceDecision clear =
+      judge_higher_better({100.0, 5.0}, {20.0, 5.0});
+  EXPECT_EQ(clear.significance, Significance::kCandidateBetter);
+  EXPECT_TRUE(clear.choose_candidate);
+  EXPECT_NEAR(clear.gain, 4.0, 1e-9);  // (100 - 20) / 20
+  // A worse candidate never wins regardless of options.
+  const SignificanceDecision worse =
+      judge_higher_better({10.0, 1.0}, {20.0, 1.0});
+  EXPECT_EQ(worse.significance, Significance::kBaselineBetter);
+  EXPECT_FALSE(worse.choose_candidate);
+}
+
+TEST(Judge, MinGainThresholdFiltersMarginalWins) {
+  SignificanceOptions options;
+  options.min_gain = 0.25;
+  // 10% better and clear of overlap, but below the 25% gain floor.
+  const SignificanceDecision verdict =
+      judge_higher_better({110.0, 1.0}, {100.0, 1.0}, options);
+  EXPECT_EQ(verdict.significance, Significance::kCandidateBetter);
+  EXPECT_FALSE(verdict.choose_candidate);
+}
+
 TEST(Overlap, WelchTEdgeCases) {
   const Interval a{5.0, 0.0};
   EXPECT_DOUBLE_EQ(welch_t(a, 0, a, 5), 0.0);

@@ -38,7 +38,7 @@ from cpptokens import Token, tokenize  # noqa: E402
 # pure function of the seed (DESIGN.md §13). Paths are src/-relative
 # first components.
 DETERMINISTIC_SUBSYSTEMS = frozenset(
-    {"sim", "net", "transfer", "cloud", "chaos", "scenario"}
+    {"sim", "net", "transfer", "cloud", "chaos", "scenario", "ctrl"}
 )
 
 UNORDERED_CONTAINERS = frozenset(

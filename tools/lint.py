@@ -22,6 +22,12 @@ Rules, all scoped to src/:
                 _mbps, _ratio), gauges carry neither. Checked at every
                 counter()/gauge()/histogram()/count() call site so exported
                 dumps stay greppable (DESIGN.md §9).
+  metric-prefix a metric registered under src/<subsystem>/ names that
+                subsystem as its first dotted segment (src/ctrl/ registers
+                `ctrl.*`, src/net/ registers `net.*`, ...). Exported dumps
+                mix every subsystem into one namespace; the prefix is what
+                keeps `grep '^ctrl\\.'` equal to "everything the control
+                plane emits".
   job-state     (src/transfer/ only) no `std::make_shared<...Job...>`
                 callback-era job state. Transfer control flow lives in
                 sim::Task<T> coroutines (DESIGN.md §10); shared-state job
@@ -249,6 +255,12 @@ class Linter:
             )
 
     def check_metric_name(self, path: Path, line_no: int, raw: str) -> None:
+        rel = path.relative_to(self.root)
+        subsystem = (
+            rel.parts[1]
+            if len(rel.parts) > 2 and rel.parts[0] == "src"
+            else None
+        )
         for match in METRIC_CALL_RE.finditer(raw):
             kind = match.group("kind")
             name = match.group("name")
@@ -259,6 +271,12 @@ class Linter:
                     "(lowercase dotted segments)",
                 )
                 continue
+            if subsystem is not None and not name.startswith(subsystem + "."):
+                self.report(
+                    path, line_no, "metric-prefix",
+                    f'"{name}" registered under src/{subsystem}/ must be '
+                    f"named {subsystem}.*",
+                )
             if kind in ("counter", "count") and not name.endswith("_total"):
                 self.report(
                     path, line_no, "metric-name",
