@@ -21,6 +21,7 @@
 #include "sim/task.h"
 #include "transfer/api_upload.h"
 #include "transfer/detour.h"
+#include "transfer/parallel.h"
 #include "transfer/rsync_engine.h"
 #include "transfer/steered.h"
 
@@ -33,12 +34,13 @@ struct WorkKindName {
   const char* name;
 };
 
-constexpr std::array<WorkKindName, 5> kWorkKindNames{{
+constexpr std::array<WorkKindName, 6> kWorkKindNames{{
     {WorkKind::kApiUpload, "api_upload"},
     {WorkKind::kDetour, "detour"},
     {WorkKind::kDetourPipelined, "detour_pipelined"},
     {WorkKind::kRsyncPush, "rsync_push"},
     {WorkKind::kSteered, "steered"},
+    {WorkKind::kBatched, "batched"},
 }};
 
 double log_uniform(util::Rng& rng, double lo, double hi) {
@@ -106,14 +108,16 @@ Case random_case(std::uint64_t seed, const CaseSpec& spec) {
         log_uniform(work_rng, 256.0 * 1024, 48.0 * 1024 * 1024));
     item.file_seed = work_rng.next_u64();
     const std::int64_t pick = work_rng.uniform_int(0, 9);
-    // 40% direct upload, 30% detour, 10% pipelined detour, 10% rsync,
-    // 10% controller-steered upload.
+    // 40% direct upload, 20% detour, 10% pipelined detour, 10% rsync,
+    // 10% controller-steered upload, 10% striped batch upload.
     WorkKind kind = WorkKind::kApiUpload;
-    if (pick >= 4 && pick <= 6) kind = WorkKind::kDetour;
-    if (pick == 7) kind = WorkKind::kDetourPipelined;
-    if (pick == 8) kind = WorkKind::kRsyncPush;
-    if (pick == 9) kind = WorkKind::kSteered;
-    if (kind != WorkKind::kApiUpload && kind != WorkKind::kSteered) {
+    if (pick >= 4 && pick <= 5) kind = WorkKind::kDetour;
+    if (pick == 6) kind = WorkKind::kDetourPipelined;
+    if (pick == 7) kind = WorkKind::kRsyncPush;
+    if (pick == 8) kind = WorkKind::kSteered;
+    if (pick == 9) kind = WorkKind::kBatched;
+    if (kind != WorkKind::kApiUpload && kind != WorkKind::kSteered &&
+        kind != WorkKind::kBatched) {
       // Detours and rsync need a second endpoint distinct from the client.
       std::vector<int> vias;
       for (int h : clients) {
@@ -154,7 +158,14 @@ struct Stack {
   transfer::DetourEngine* detour = nullptr;
   transfer::RsyncEngine* rsync = nullptr;
   transfer::SteeredUploadEngine* steered = nullptr;  // only with kSteered work
+  transfer::ParallelPushEngine* parallel = nullptr;  // kBatched striped pushes
+  int server_node = 0;
 };
+
+// Stripe count for kBatched work: enough to exercise multi-request batch
+// fan-out (launch order, partial failure, cancel cascade) without swamping
+// the chaos plan's flow-id range.
+constexpr int kBatchedStreams = 3;
 
 sim::Task<void> drive_item(Stack stack, WorkItem item, WorkOutcome* out) {
   auto wake = sim::delay_until(*stack.simulator, item.start_s);
@@ -230,6 +241,20 @@ sim::Task<void> drive_item(Stack stack, WorkItem item, WorkOutcome* out) {
       }
       break;
     }
+    case WorkKind::kBatched: {
+      auto task = stack.parallel->push_task(item.client, stack.server_node,
+                                            file, kBatchedStreams);
+      const auto result = co_await task;
+      if (result.ok()) {
+        out->success = result.value().success;
+        out->error = result.value().error;
+        out->end_s = result.value().end_time;
+      } else {
+        out->error = result.error().message;
+        out->end_s = stack.simulator->now();
+      }
+      break;
+    }
   }
   out->done = true;
   co_return;
@@ -270,6 +295,7 @@ RunReport run_case(const Case& c, const RunOptions& options) {
   transfer::ApiUploadEngine api(&fabric, &server, c.server_node);
   transfer::DetourEngine detour(&fabric, &api);
   transfer::RsyncEngine rsync(&fabric);
+  transfer::ParallelPushEngine parallel(&fabric);
 
   // kSteered work brings up the online control plane: the controller probes
   // candidate paths (every non-server host is a potential relay) and the
@@ -360,7 +386,8 @@ RunReport run_case(const Case& c, const RunOptions& options) {
   report.outcomes.resize(c.work.size());
   std::vector<sim::Task<void>> tasks;
   tasks.reserve(c.work.size());
-  const Stack stack{&simulator, &api, &detour, &rsync, steered.get()};
+  const Stack stack{&simulator, &api,      &detour,      &rsync,
+                    steered.get(), &parallel, c.server_node};
   for (std::size_t i = 0; i < c.work.size(); ++i) {
     tasks.push_back(drive_item(stack, c.work[i], &report.outcomes[i]));
   }
@@ -401,6 +428,20 @@ RunReport run_case(const Case& c, const RunOptions& options) {
   if (server.open_sessions() != 0) {
     fail("session_leak", std::to_string(server.open_sessions()) +
                              " upload sessions still open after drain");
+  }
+  // Every engine's batch layer must have settled every BatchHandle: a
+  // cancelled or abandoned batch that failed to release its requests shows
+  // up here as a stuck transfer.batch_inflight count.
+  const std::size_t batch_leak =
+      api.batch_engine().batches_inflight() +
+      detour.batch_engine().batches_inflight() +
+      detour.rsync().batch_engine().batches_inflight() +
+      rsync.batch_engine().batches_inflight() +
+      parallel.batch_engine().batches_inflight() +
+      (steered ? steered->rsync().batch_engine().batches_inflight() : 0);
+  if (batch_leak != 0) {
+    fail("batch_leak", std::to_string(batch_leak) +
+                           " transfer batches still inflight after drain");
   }
   if (auto st = auditor.audit_quiescent(); !st.ok()) {
     fail("quiescent", st.error().message);

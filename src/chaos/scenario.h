@@ -46,6 +46,7 @@ enum class WorkKind : std::uint8_t {
   kDetourPipelined,  // pipelined detour (legs overlap)
   kRsyncPush,        // bare rsync push client -> DTN (no provider)
   kSteered,          // upload path chosen online by ctrl::Controller
+  kBatched,          // striped multi-request batch via submit_batch()
 };
 
 /// Serialization token for a work kind (e.g. "api_upload").

@@ -114,6 +114,9 @@ inline void add(Counter* c, std::uint64_t delta = 1) {
 inline void set(Gauge* g, double value) {
   if (g != nullptr) g->set(value);
 }
+inline void add(Gauge* g, double delta) {
+  if (g != nullptr) g->add(delta);
+}
 inline void observe(Histogram* h, double value) {
   if (h != nullptr) h->observe(value);
 }

@@ -5,16 +5,16 @@
 
 #include "check/contract.h"
 #include "cloud/provider.h"
-#include "net/fabric_await.h"
-#include "transfer/task_shim.h"
 
 namespace droute::transfer {
 
 ApiDownloadEngine::ApiDownloadEngine(net::Fabric* fabric,
                                      cloud::StorageServer* server,
                                      net::NodeId server_node)
-    : fabric_(fabric), server_(server), server_node_(server_node) {
+    : fabric_(fabric), server_(server), server_node_(server_node),
+      transport_(fabric), xfer_(&transport_) {
   DROUTE_CHECK(fabric_ && server_, "ApiDownloadEngine: null dependency");
+  server_segment_ = xfer_.ensure_node_segment(server_node_);
 }
 
 sim::Task<DownloadResult> ApiDownloadEngine::download_task(
@@ -71,9 +71,6 @@ sim::Task<DownloadResult> ApiDownloadEngine::download_task(
     }
     const auto expected_digest = range.value();
 
-    net::FlowOptions flow_options;
-    flow_options.charge_slow_start = next_chunk == 0;
-    flow_options.label = "api-download-chunk";
     const std::uint64_t wire =
         chunk + server_->profile().per_chunk_header_bytes;
 
@@ -83,13 +80,20 @@ sim::Task<DownloadResult> ApiDownloadEngine::download_task(
     if (!co_await turnaround) {
       co_return fail("download cancelled between chunks");
     }
-    auto get = net::transfer(*fabric_, server_node_, client, wire,
-                             flow_options);
-    const auto stats = co_await get;
-    if (!stats.ok()) {
-      co_return fail("download flow rejected: " + stats.error().message);
-    }
-    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
+    TransferRequest get_request;
+    get_request.opcode = Opcode::kRead;  // body streams server -> client
+    get_request.source_node = client;
+    get_request.target_id = server_segment_;
+    get_request.target_offset = offset;
+    get_request.length = wire;
+    get_request.charge_slow_start = next_chunk == 0;
+    get_request.label = "api-download-chunk";
+    auto get = xfer_.submit(std::move(get_request));
+    if (!co_await get) {
+      const RequestStatus& st = get.status(0);
+      if (st.rejected()) {
+        co_return fail("download flow rejected: " + st.error);
+      }
       co_return fail("download chunk flow failed");
     }
     digester.add_chunk(expected_digest);
@@ -111,8 +115,22 @@ sim::Task<DownloadResult> ApiDownloadEngine::download_task(
 
 void ApiDownloadEngine::download(net::NodeId client, const std::string& name,
                                  Callback done, ApiDownloadOptions options) {
-  detail::deliver(download_task(client, name, options), std::move(done),
-                  fabric_->simulator());
+  // Folded task_shim: the Task error channel (escaped exception,
+  // cancellation) maps back onto {success, error}; `done` fires exactly once.
+  sim::Simulator* simulator = fabric_->simulator();
+  auto task = download_task(client, name, options);
+  task.on_done([done = std::move(done),
+                simulator](const util::Result<DownloadResult>& result) {
+    if (result.ok()) {
+      done(result.value());
+      return;
+    }
+    DownloadResult failed{};
+    failed.success = false;
+    failed.error = result.error().message;
+    failed.start_time = failed.end_time = simulator->now();
+    done(failed);
+  });
 }
 
 }  // namespace droute::transfer

@@ -11,6 +11,8 @@
 #include "cloud/storage_server.h"
 #include "net/fabric.h"
 #include "sim/task.h"
+#include "transfer/batch.h"
+#include "transfer/sim_transport.h"
 
 namespace droute::transfer {
 
@@ -50,10 +52,16 @@ class ApiDownloadEngine {
   void download(net::NodeId client, const std::string& name, Callback done,
                 ApiDownloadOptions options = {});
 
+  /// The batched submission layer every ranged GET routes through.
+  TransferEngine& batch_engine() { return xfer_; }
+
  private:
   net::Fabric* fabric_;
   cloud::StorageServer* server_;
   net::NodeId server_node_;
+  SimTransport transport_;
+  TransferEngine xfer_;
+  SegmentId server_segment_ = kInvalidSegment;
 };
 
 }  // namespace droute::transfer

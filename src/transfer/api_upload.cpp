@@ -4,9 +4,7 @@
 #include <vector>
 
 #include "check/contract.h"
-#include "net/fabric_await.h"
 #include "obs/recorder.h"
-#include "transfer/task_shim.h"
 #include "util/logging.h"
 
 namespace droute::transfer {
@@ -31,8 +29,10 @@ constexpr int kMaxThrottleRetries = 8;
 ApiUploadEngine::ApiUploadEngine(net::Fabric* fabric,
                                  cloud::StorageServer* server,
                                  net::NodeId server_node)
-    : fabric_(fabric), server_(server), server_node_(server_node) {
+    : fabric_(fabric), server_(server), server_node_(server_node),
+      transport_(fabric), xfer_(&transport_) {
   DROUTE_CHECK(fabric_ && server_, "ApiUploadEngine: null dependency");
+  server_segment_ = xfer_.ensure_node_segment(server_node_);
   obs_throttle_retries_ = obs::counter("transfer.throttle_retries_total");
   obs_backoff_wait_ =
       obs::histogram("transfer.backoff_wait_s", obs::duration_bounds_s());
@@ -102,20 +102,24 @@ sim::Task<UploadResult> ApiUploadEngine::upload_task(net::NodeId client,
     const std::uint64_t chunk_bytes = chunks[next_chunk];
     const std::uint64_t wire =
         chunk_bytes + server_->profile().per_chunk_header_bytes;
-    net::FlowOptions flow_options;
+    TransferRequest put_request;
+    put_request.opcode = Opcode::kWrite;
+    put_request.source_node = client;
+    put_request.target_id = server_segment_;
+    put_request.target_offset = offset;
+    put_request.length = wire;
     // The HTTP connection persists across chunks; only the first chunk pays
     // the slow-start ramp.
-    flow_options.charge_slow_start = next_chunk == 0;
-    flow_options.label = "api-chunk";
+    put_request.charge_slow_start = next_chunk == 0;
+    put_request.label = "api-chunk";
 
-    auto put = net::transfer(*fabric_, client, server_node_, wire,
-                             flow_options);
-    const auto stats = co_await put;
-    if (!stats.ok()) {
-      co_return fail("chunk flow rejected: " + stats.error().message);
-    }
-    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
-      co_return fail(stats.value().outcome == net::FlowOutcome::kLinkFailed
+    auto put = xfer_.submit(std::move(put_request));
+    if (!co_await put) {
+      const RequestStatus& st = put.status(0);
+      if (st.rejected()) {
+        co_return fail("chunk flow rejected: " + st.error);
+      }
+      co_return fail(st.state == RequestState::kLinkFailed
                          ? "link failed mid-chunk"
                          : "chunk flow aborted");
     }
@@ -157,7 +161,7 @@ sim::Task<UploadResult> ApiUploadEngine::upload_task(net::NodeId client,
     }
     attempts_this_chunk = 0;
     digester.add_chunk(digest);
-    result.wire_bytes += stats.value().bytes;
+    result.wire_bytes += put.status(0).bytes;
     offset += chunk_bytes;
     ++next_chunk;
     ++result.chunks;
@@ -189,8 +193,23 @@ sim::Task<UploadResult> ApiUploadEngine::upload_task(net::NodeId client,
 
 void ApiUploadEngine::upload(net::NodeId client, const FileSpec& file,
                              Callback done, ApiUploadOptions options) {
-  detail::deliver(upload_task(client, file, options), std::move(done),
-                  fabric_->simulator());
+  // Fold of the old task_shim: domain failures already live inside the
+  // result struct; the Task error channel (escaped exception, cancellation)
+  // is folded back into {success, error} so `done` fires exactly once.
+  sim::Simulator* simulator = fabric_->simulator();
+  auto task = upload_task(client, file, options);
+  task.on_done([done = std::move(done),
+                simulator](const util::Result<UploadResult>& result) {
+    if (result.ok()) {
+      done(result.value());
+      return;
+    }
+    UploadResult failed{};
+    failed.success = false;
+    failed.error = result.error().message;
+    failed.start_time = failed.end_time = simulator->now();
+    done(failed);
+  });
 }
 
 }  // namespace droute::transfer

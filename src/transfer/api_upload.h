@@ -11,7 +11,9 @@
 #include "cloud/storage_server.h"
 #include "net/fabric.h"
 #include "sim/task.h"
+#include "transfer/batch.h"
 #include "transfer/file_spec.h"
+#include "transfer/sim_transport.h"
 
 namespace droute::obs {
 class Counter;
@@ -62,10 +64,17 @@ class ApiUploadEngine {
   void upload(net::NodeId client, const FileSpec& file, Callback done,
               ApiUploadOptions options = {});
 
+  /// The batched submission layer every chunk PUT routes through (chaos
+  /// leak audits poll batches_inflight() here).
+  TransferEngine& batch_engine() { return xfer_; }
+
  private:
   net::Fabric* fabric_;
   cloud::StorageServer* server_;
   net::NodeId server_node_;
+  SimTransport transport_;
+  TransferEngine xfer_;
+  SegmentId server_segment_ = kInvalidSegment;
   // obs handles (null when recording is disabled at construction).
   obs::Counter* obs_throttle_retries_ = nullptr;
   obs::Histogram* obs_backoff_wait_ = nullptr;

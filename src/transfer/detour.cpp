@@ -4,9 +4,7 @@
 #include <utility>
 #include <vector>
 
-#include "net/fabric_await.h"
 #include "obs/recorder.h"
-#include "transfer/task_shim.h"
 #include "util/logging.h"
 
 namespace droute::transfer {
@@ -58,8 +56,22 @@ sim::Task<DetourResult> DetourEngine::transfer_task(net::NodeId client,
 void DetourEngine::transfer(net::NodeId client, net::NodeId intermediate,
                             const FileSpec& file, Callback done,
                             DetourOptions options) {
-  detail::deliver(transfer_task(client, intermediate, file, options),
-                  std::move(done), fabric_->simulator());
+  // Folded task_shim: the Task error channel (escaped exception,
+  // cancellation) maps back onto {success, error}; `done` fires exactly once.
+  sim::Simulator* simulator = fabric_->simulator();
+  auto task = transfer_task(client, intermediate, file, options);
+  task.on_done([done = std::move(done),
+                simulator](const util::Result<DetourResult>& result) {
+    if (result.ok()) {
+      done(result.value());
+      return;
+    }
+    DetourResult failed{};
+    failed.success = false;
+    failed.error = result.error().message;
+    failed.start_time = failed.end_time = simulator->now();
+    done(failed);
+  });
 }
 
 sim::Task<DetourResult> DetourEngine::store_and_forward_task(
@@ -115,6 +127,9 @@ namespace {
 struct PipelineShared {
   net::Fabric* fabric = nullptr;
   ApiUploadEngine* api = nullptr;
+  TransferEngine* xfer = nullptr;      // the relay hops' batch layer
+  SegmentId dtn_segment = kInvalidSegment;
+  SegmentId server_segment = kInvalidSegment;
   const FileSpec* file = nullptr;
   const std::vector<std::uint64_t>* chunks = nullptr;
   net::NodeId client = net::kInvalidNode;
@@ -147,18 +162,21 @@ struct PipelineShared {
 sim::Task<bool> pipeline_leg1(PipelineShared& sh) {  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
   for (std::size_t next = 0; next < sh.chunks->size(); ++next) {
     if (sh.failed) co_return false;
-    net::FlowOptions flow_options;
-    flow_options.charge_slow_start = next == 0;
-    flow_options.label = "relay-leg1";
-    auto hop = net::transfer(*sh.fabric, sh.client, sh.intermediate,
-                             (*sh.chunks)[next], flow_options);
-    const auto stats = co_await hop;
-    if (!stats.ok()) {
-      sh.note_failure("pipelined leg 1 rejected: " + stats.error().message);
-      co_return false;
-    }
-    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
-      sh.note_failure("pipelined leg 1 flow failed");
+    TransferRequest hop_request;
+    hop_request.opcode = Opcode::kWrite;
+    hop_request.source_node = sh.client;
+    hop_request.target_id = sh.dtn_segment;
+    hop_request.length = (*sh.chunks)[next];
+    hop_request.charge_slow_start = next == 0;
+    hop_request.label = "relay-leg1";
+    auto hop = sh.xfer->submit(std::move(hop_request));
+    if (!co_await hop) {
+      const RequestStatus& st = hop.status(0);
+      if (st.rejected()) {
+        sh.note_failure("pipelined leg 1 rejected: " + st.error);
+      } else {
+        sh.note_failure("pipelined leg 1 flow failed");
+      }
       co_return false;
     }
     ++sh.arrived;
@@ -185,19 +203,23 @@ sim::Task<bool> pipeline_leg2(PipelineShared& sh) {  // NOLINT(cppcoreguidelines
       continue;  // re-check: a notify is a hint
     }
     const std::uint64_t chunk = (*sh.chunks)[next];
-    net::FlowOptions flow_options;
-    flow_options.charge_slow_start = next == 0;
-    flow_options.label = "relay-leg2";
     const std::uint64_t wire = chunk + profile.per_chunk_header_bytes;
-    auto hop = net::transfer(*sh.fabric, sh.intermediate,
-                             sh.api->server_node(), wire, flow_options);
-    const auto stats = co_await hop;
-    if (!stats.ok()) {
-      sh.note_failure("pipelined leg 2 rejected: " + stats.error().message);
-      co_return false;
-    }
-    if (stats.value().outcome != net::FlowOutcome::kCompleted) {
-      sh.note_failure("pipelined leg 2 flow failed");
+    TransferRequest hop_request;
+    hop_request.opcode = Opcode::kWrite;
+    hop_request.source_node = sh.intermediate;
+    hop_request.target_id = sh.server_segment;
+    hop_request.target_offset = offset;
+    hop_request.length = wire;
+    hop_request.charge_slow_start = next == 0;
+    hop_request.label = "relay-leg2";
+    auto hop = sh.xfer->submit(std::move(hop_request));
+    if (!co_await hop) {
+      const RequestStatus& st = hop.status(0);
+      if (st.rejected()) {
+        sh.note_failure("pipelined leg 2 rejected: " + st.error);
+      } else {
+        sh.note_failure("pipelined leg 2 flow failed");
+      }
       co_return false;
     }
     const auto digest = sh.file->chunk_digest(offset, chunk);
@@ -246,6 +268,9 @@ sim::Task<DetourResult> DetourEngine::pipelined_task(net::NodeId client,
   PipelineShared sh;
   sh.fabric = fabric_;
   sh.api = api_;
+  sh.xfer = &xfer_;
+  sh.dtn_segment = xfer_.ensure_node_segment(intermediate);
+  sh.server_segment = xfer_.ensure_node_segment(api_->server_node());
   sh.file = &file;
   sh.client = client;
   sh.intermediate = intermediate;

@@ -47,7 +47,8 @@ class DetourEngine {
 
   /// `api` is bound to the destination provider's front-end node.
   DetourEngine(net::Fabric* fabric, ApiUploadEngine* api)
-      : fabric_(fabric), api_(api), rsync_(fabric) {}
+      : fabric_(fabric), api_(api), rsync_(fabric), transport_(fabric),
+        xfer_(&transport_) {}
 
   /// Coroutine form: moves `file` from `client` to the provider via
   /// `intermediate`. Domain failures land inside DetourResult — including
@@ -62,6 +63,12 @@ class DetourEngine {
   void transfer(net::NodeId client, net::NodeId intermediate,
                 const FileSpec& file, Callback done, DetourOptions options = {});
 
+  /// The batched submission layer the pipelined relay hops route through
+  /// (store-and-forward legs go through rsync()/the API engine instead).
+  TransferEngine& batch_engine() { return xfer_; }
+  /// The embedded client -> DTN rsync engine (leg 1 of store-and-forward).
+  RsyncEngine& rsync() { return rsync_; }
+
  private:
   sim::Task<DetourResult> store_and_forward_task(net::NodeId client,
                                                  net::NodeId intermediate,
@@ -75,6 +82,8 @@ class DetourEngine {
   net::Fabric* fabric_;
   ApiUploadEngine* api_;
   RsyncEngine rsync_;
+  SimTransport transport_;
+  TransferEngine xfer_;
 };
 
 }  // namespace droute::transfer

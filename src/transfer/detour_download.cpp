@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "transfer/file_spec.h"
-#include "transfer/task_shim.h"
 
 namespace droute::transfer {
 
@@ -68,8 +67,22 @@ sim::Task<DownloadDetourResult> DetourDownloadEngine::download_task(
 void DetourDownloadEngine::download(net::NodeId client,
                                     net::NodeId intermediate,
                                     const std::string& name, Callback done) {
-  detail::deliver(download_task(client, intermediate, name), std::move(done),
-                  fabric_->simulator());
+  // Folded task_shim: the Task error channel (escaped exception,
+  // cancellation) maps back onto {success, error}; `done` fires exactly once.
+  sim::Simulator* simulator = fabric_->simulator();
+  auto task = download_task(client, intermediate, name);
+  task.on_done([done = std::move(done),
+                simulator](const util::Result<DownloadDetourResult>& result) {
+    if (result.ok()) {
+      done(result.value());
+      return;
+    }
+    DownloadDetourResult failed{};
+    failed.success = false;
+    failed.error = result.error().message;
+    failed.start_time = failed.end_time = simulator->now();
+    done(failed);
+  });
 }
 
 }  // namespace droute::transfer

@@ -41,6 +41,10 @@ class DetourDownloadEngine {
   void download(net::NodeId client, net::NodeId intermediate,
                 const std::string& name, Callback done);
 
+  /// The embedded DTN -> client rsync engine (leg 2); its flows and the
+  /// API leg's all route through per-engine batch layers.
+  RsyncEngine& rsync() { return rsync_; }
+
  private:
   net::Fabric* fabric_;
   ApiDownloadEngine* api_;

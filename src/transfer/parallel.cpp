@@ -5,32 +5,10 @@
 #include <vector>
 
 #include "check/contract.h"
-#include "net/fabric_await.h"
 #include "sim/task.h"
-#include "transfer/task_shim.h"
 #include "util/result.h"
 
 namespace droute::transfer {
-
-namespace {
-
-/// One stripe: a single flow carrying a contiguous byte range. Yields the
-/// flow's stats (any outcome) or an error when the fabric refused to start
-/// the flow at all.
-/// The Fabric outlives every stripe: push_task() co_awaits all stripes it
-/// spawns before returning, and the fabric outlives the engine.
-sim::Task<net::FlowStats> stripe_task(net::Fabric& fabric, net::NodeId src,  // NOLINT(cppcoreguidelines-avoid-reference-coroutine-parameters)
-                                      net::NodeId dst, std::uint64_t bytes) {
-  net::FlowOptions options;
-  options.charge_slow_start = true;  // every stream ramps independently
-  options.label = "parallel-stripe";
-  auto flow = net::transfer(fabric, src, dst, bytes, options);
-  const auto stats = co_await flow;
-  if (!stats.ok()) co_return stats.error();
-  co_return stats.value();
-}
-
-}  // namespace
 
 sim::Task<ParallelPushResult> ParallelPushEngine::push_task(net::NodeId src,
                                                             net::NodeId dst,
@@ -47,44 +25,56 @@ sim::Task<ParallelPushResult> ParallelPushEngine::push_task(net::NodeId src,
       std::min<std::uint64_t>(static_cast<std::uint64_t>(streams),
                               std::max<std::uint64_t>(1, file.bytes));
 
+  // One batch, one WRITE request per stripe. fail_fast reproduces the
+  // legacy contract: a synchronously rejected stripe reports the failure
+  // once and immediately, while earlier in-flight stripes finish detached
+  // (their completions release the batch state as the flows drain).
+  const SegmentId target = xfer_.ensure_node_segment(dst);
   const std::uint64_t stripe = file.bytes / effective_streams;
-  std::vector<sim::Task<net::FlowStats>> stripes;
-  stripes.reserve(static_cast<std::size_t>(effective_streams));
+  std::vector<TransferRequest> requests;
+  requests.reserve(static_cast<std::size_t>(effective_streams));
   std::uint64_t offset = 0;
   for (std::uint64_t i = 0; i < effective_streams; ++i) {
     const std::uint64_t length =
         i + 1 == effective_streams ? file.bytes - offset : stripe;
-    stripes.push_back(stripe_task(*fabric_, src, dst,
-                                  std::max<std::uint64_t>(1, length)));
-    if (stripes.back().done() && !stripes.back().result().ok()) {
-      // Stripe rejected synchronously. Earlier stripes may already be in
-      // flight; report the failure once and let them finish detached (the
-      // legacy behaviour — their frames self-release as the flows drain).
-      result.success = false;
-      result.error =
-          "stripe rejected: " + stripes.back().result().error().message;
-      result.end_time = simulator.now();
-      co_return result;
-    }
+    TransferRequest request;
+    request.opcode = Opcode::kWrite;
+    request.source_node = src;
+    request.target_id = target;
+    request.target_offset = offset;
+    request.length = std::max<std::uint64_t>(1, length);
+    request.charge_slow_start = true;  // every stream ramps independently
+    request.label = "parallel-stripe";
+    requests.push_back(std::move(request));
     offset += length;
   }
 
-  auto joined = sim::all_of(std::move(stripes));
-  const auto outcomes = co_await joined;
+  BatchOptions options;
+  options.fail_fast = true;
+  auto stripes = xfer_.submit_batch(std::move(requests), options);
+  if (!co_await stripes) {
+    for (std::size_t i = 0; i < stripes.size(); ++i) {
+      const RequestStatus& st = stripes.status(i);
+      if (st.state == RequestState::kRejected) {
+        result.success = false;
+        result.error = "stripe rejected: " + st.error;
+        result.end_time = simulator.now();
+        co_return result;
+      }
+    }
+  }
   bool failed = false;
-  if (!outcomes.ok()) {
+  if (stripes.cancelled()) {
     failed = true;  // the join itself was cancelled
   } else {
-    for (const auto& stats : outcomes.value()) {
-      if (!stats.ok() ||
-          stats.value().outcome != net::FlowOutcome::kCompleted) {
-        failed = true;
-      }
-      if (stats.ok()) {
+    for (std::size_t i = 0; i < stripes.size(); ++i) {
+      const RequestStatus& st = stripes.status(i);
+      if (!st.completed()) failed = true;
+      if (st.ran()) {
         // Completion is gated by the last stripe; failed stripes still ran
         // for their recorded duration.
         result.slowest_stream_s =
-            std::max(result.slowest_stream_s, stats.value().duration_s());
+            std::max(result.slowest_stream_s, st.duration_s());
       }
     }
   }
@@ -97,8 +87,22 @@ sim::Task<ParallelPushResult> ParallelPushEngine::push_task(net::NodeId src,
 void ParallelPushEngine::push(net::NodeId src, net::NodeId dst,
                               const FileSpec& file, int streams,
                               Callback done) {
-  detail::deliver(push_task(src, dst, file, streams), std::move(done),
-                  fabric_->simulator());
+  // Folded task_shim: the Task error channel (escaped exception,
+  // cancellation) maps back onto {success, error}; `done` fires exactly once.
+  sim::Simulator* simulator = fabric_->simulator();
+  auto task = push_task(src, dst, file, streams);
+  task.on_done([done = std::move(done),
+                simulator](const util::Result<ParallelPushResult>& result) {
+    if (result.ok()) {
+      done(result.value());
+      return;
+    }
+    ParallelPushResult failed{};
+    failed.success = false;
+    failed.error = result.error().message;
+    failed.start_time = failed.end_time = simulator->now();
+    done(failed);
+  });
 }
 
 }  // namespace droute::transfer

@@ -16,7 +16,9 @@
 
 #include "net/fabric.h"
 #include "sim/task.h"
+#include "transfer/batch.h"
 #include "transfer/file_spec.h"
+#include "transfer/sim_transport.h"
 
 namespace droute::transfer {
 
@@ -36,11 +38,12 @@ class ParallelPushEngine {
  public:
   using Callback = std::function<void(const ParallelPushResult&)>;
 
-  explicit ParallelPushEngine(net::Fabric* fabric) : fabric_(fabric) {}
+  explicit ParallelPushEngine(net::Fabric* fabric)
+      : fabric_(fabric), transport_(fabric), xfer_(&transport_) {}
 
   /// Coroutine form: pushes `file` from src to dst over `streams`
-  /// concurrent flows (one eager stripe task each, joined via
-  /// sim::all_of), each carrying a contiguous stripe. streams must be >= 1.
+  /// concurrent flows — one fail-fast batch with one WRITE request per
+  /// contiguous stripe. streams must be >= 1.
   sim::Task<ParallelPushResult> push_task(net::NodeId src, net::NodeId dst,
                                           FileSpec file, int streams);
 
@@ -48,8 +51,13 @@ class ParallelPushEngine {
   void push(net::NodeId src, net::NodeId dst, const FileSpec& file,
             int streams, Callback done);
 
+  /// The batched submission layer the stripe fan-out routes through.
+  TransferEngine& batch_engine() { return xfer_; }
+
  private:
   net::Fabric* fabric_;
+  SimTransport transport_;
+  TransferEngine xfer_;
 };
 
 }  // namespace droute::transfer

@@ -4,9 +4,7 @@
 #include <utility>
 
 #include "check/contract.h"
-#include "net/fabric_await.h"
 #include "rsyncx/signature.h"
-#include "transfer/task_shim.h"
 
 namespace droute::transfer {
 
@@ -101,36 +99,42 @@ sim::Task<RsyncResult> RsyncEngine::push_task(net::NodeId src, net::NodeId dst,
                           simulator.now());
   }
 
-  net::FlowOptions sig_options;
-  sig_options.label = "rsync-signature";
-  auto sig_leg = net::transfer(*fabric_, dst, src,
-                               std::max<std::uint64_t>(1, plan.reverse_bytes),
-                               sig_options);
-  const auto sig_stats = co_await sig_leg;
-  if (!sig_stats.ok()) {
-    co_return fail_result(std::move(result),
-                          "signature flow rejected: " +
-                              sig_stats.error().message,
-                          simulator.now());
-  }
-  if (sig_stats.value().outcome != net::FlowOutcome::kCompleted) {
+  // Both session legs address the receiver's segment: the signature is a
+  // READ (receiver -> sender), the delta a WRITE (sender -> receiver).
+  const SegmentId receiver = xfer_.ensure_node_segment(dst);
+
+  TransferRequest sig_request;
+  sig_request.opcode = Opcode::kRead;
+  sig_request.source_node = src;
+  sig_request.target_id = receiver;
+  sig_request.length = std::max<std::uint64_t>(1, plan.reverse_bytes);
+  sig_request.label = "rsync-signature";
+  auto sig_leg = xfer_.submit(std::move(sig_request));
+  if (!co_await sig_leg) {
+    const RequestStatus& st = sig_leg.status(0);
+    if (st.rejected()) {
+      co_return fail_result(std::move(result),
+                            "signature flow rejected: " + st.error,
+                            simulator.now());
+    }
     co_return fail_result(std::move(result), "signature transfer failed",
                           simulator.now());
   }
 
-  net::FlowOptions delta_options;
-  delta_options.label = "rsync-delta";
-  auto delta_leg = net::transfer(*fabric_, src, dst,
-                                 std::max<std::uint64_t>(1, plan.forward_bytes),
-                                 delta_options);
-  const auto delta_stats = co_await delta_leg;
-  if (!delta_stats.ok()) {
-    co_return fail_result(std::move(result),
-                          "delta flow rejected: " +
-                              delta_stats.error().message,
-                          simulator.now());
-  }
-  if (delta_stats.value().outcome != net::FlowOutcome::kCompleted) {
+  TransferRequest delta_request;
+  delta_request.opcode = Opcode::kWrite;
+  delta_request.source_node = src;
+  delta_request.target_id = receiver;
+  delta_request.length = std::max<std::uint64_t>(1, plan.forward_bytes);
+  delta_request.label = "rsync-delta";
+  auto delta_leg = xfer_.submit(std::move(delta_request));
+  if (!co_await delta_leg) {
+    const RequestStatus& st = delta_leg.status(0);
+    if (st.rejected()) {
+      co_return fail_result(std::move(result),
+                            "delta flow rejected: " + st.error,
+                            simulator.now());
+    }
     co_return fail_result(std::move(result), "delta transfer failed",
                           simulator.now());
   }
@@ -147,8 +151,22 @@ sim::Task<RsyncResult> RsyncEngine::push_task(net::NodeId src, net::NodeId dst,
 
 void RsyncEngine::push(net::NodeId src, net::NodeId dst, const FileSpec& file,
                        Callback done, RsyncOptions options) {
-  detail::deliver(push_task(src, dst, file, options), std::move(done),
-                  fabric_->simulator());
+  // Folded task_shim: the Task error channel (escaped exception,
+  // cancellation) maps back onto {success, error}; `done` fires exactly once.
+  sim::Simulator* simulator = fabric_->simulator();
+  auto task = push_task(src, dst, file, options);
+  task.on_done([done = std::move(done),
+                simulator](const util::Result<RsyncResult>& result) {
+    if (result.ok()) {
+      done(result.value());
+      return;
+    }
+    RsyncResult failed{};
+    failed.success = false;
+    failed.error = result.error().message;
+    failed.start_time = failed.end_time = simulator->now();
+    done(failed);
+  });
 }
 
 }  // namespace droute::transfer

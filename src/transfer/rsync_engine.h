@@ -16,7 +16,9 @@
 #include "net/fabric.h"
 #include "rsyncx/session.h"
 #include "sim/task.h"
+#include "transfer/batch.h"
 #include "transfer/file_spec.h"
+#include "transfer/sim_transport.h"
 
 namespace droute::transfer {
 
@@ -46,7 +48,8 @@ class RsyncEngine {
  public:
   using Callback = std::function<void(const RsyncResult&)>;
 
-  explicit RsyncEngine(net::Fabric* fabric) : fabric_(fabric) {}
+  explicit RsyncEngine(net::Fabric* fabric)
+      : fabric_(fabric), transport_(fabric), xfer_(&transport_) {}
 
   /// Coroutine form: pushes `file` from `src` to `dst` (rsync "push" mode,
   /// as the paper's user machine pushes to the intermediate node). Domain
@@ -59,8 +62,13 @@ class RsyncEngine {
   void push(net::NodeId src, net::NodeId dst, const FileSpec& file,
             Callback done, RsyncOptions options = {});
 
+  /// The batched submission layer both session legs route through.
+  TransferEngine& batch_engine() { return xfer_; }
+
  private:
   net::Fabric* fabric_;
+  SimTransport transport_;
+  TransferEngine xfer_;
 };
 
 }  // namespace droute::transfer

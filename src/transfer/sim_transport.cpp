@@ -1,0 +1,47 @@
+#include "transfer/sim_transport.h"
+
+#include <utility>
+
+namespace droute::transfer {
+
+util::Result<Transport::OpId> SimTransport::start(const Segment& target,
+                                                  const TransferRequest& request,
+                                                  CompletionFn done) {
+  if (target.node == net::kInvalidNode) {
+    return util::Error::make("segment has no fabric node");
+  }
+  if (request.source_node == net::kInvalidNode) {
+    return util::Error::make("request has no source node");
+  }
+  const net::NodeId src = request.opcode == Opcode::kWrite ? request.source_node
+                                                           : target.node;
+  const net::NodeId dst = request.opcode == Opcode::kWrite ? target.node
+                                                           : request.source_node;
+  net::FlowOptions options;
+  options.charge_slow_start = request.charge_slow_start;
+  options.label = request.label;
+  auto flow = fabric_->start_flow(
+      src, dst, request.length,
+      [done = std::move(done)](const net::FlowStats& stats) {
+        Completion completion;
+        completion.bytes = stats.bytes;
+        switch (stats.outcome) {
+          case net::FlowOutcome::kCompleted:
+            completion.fate = TransferFate::kCompleted;
+            break;
+          case net::FlowOutcome::kAborted:
+            completion.fate = TransferFate::kAborted;
+            break;
+          case net::FlowOutcome::kLinkFailed:
+            completion.fate = TransferFate::kLinkFailed;
+            break;
+        }
+        done(completion);
+      },
+      std::move(options));
+  if (!flow.ok()) return flow.error();
+  // Flow ids start at 1, so they double as OpIds (0 stays "no op").
+  return static_cast<OpId>(flow.value());
+}
+
+}  // namespace droute::transfer

@@ -54,6 +54,10 @@ class SteeredUploadEngine {
   sim::Task<SteeredResult> upload_task(net::NodeId client, FileSpec file,
                                        SteeredOptions options = {});
 
+  /// The embedded per-relay-leg rsync engine; every steered leg's flows
+  /// route through its batch layer (the API leg through `api`'s).
+  RsyncEngine& rsync() { return rsync_; }
+
  private:
   net::Fabric* fabric_;
   ApiUploadEngine* api_;

@@ -1,0 +1,105 @@
+#include "transfer/wire_transport.h"
+
+#include <span>
+#include <utility>
+
+#include "wire/client.h"
+
+namespace droute::transfer {
+
+WireTransport::WireTransport() : epoch_(std::chrono::steady_clock::now()) {}  // analyze: allow(determinism-wall-clock) — the wire backend moves real bytes over real sockets; its clock is wall time by definition (timestamps never feed the sim schedule)
+
+WireTransport::~WireTransport() {
+  while (drain_one()) {
+  }
+}
+
+double WireTransport::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;  // analyze: allow(determinism-wall-clock) — wall clock is the wire plane's native time base (see ctor waiver)
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+util::Result<Transport::OpId> WireTransport::start(
+    const Segment& target, const TransferRequest& request, CompletionFn done) {
+  if (request.opcode != Opcode::kWrite) {
+    return util::Error::make("wire transport only supports WRITE");
+  }
+  if (target.wire_port == 0) {
+    return util::Error::make("segment has no wire port");
+  }
+  if (request.source == nullptr) {
+    return util::Error::make("wire request has no source buffer");
+  }
+  OpId id = kNoOp;
+  Op* op = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_op_++;
+    auto owned = std::make_unique<Op>();
+    owned->done = std::move(done);
+    op = owned.get();
+    ops_.emplace(id, std::move(owned));
+  }
+  const std::uint16_t port = target.wire_port;
+  const double rate = target.wire_rate_bytes_per_s;
+  const std::uint8_t* data = request.source;
+  const std::uint64_t length = request.length;
+  op->worker = std::thread([this, id, op, port, rate, data, length] {
+    Completion completion;
+    if (op->cancel.load(std::memory_order_acquire)) {
+      completion.fate = TransferFate::kAborted;
+      completion.error = "wire upload cancelled before start";
+      finish(id, std::move(completion));
+      return;
+    }
+    const auto timing = wire::upload_direct(
+        port, std::span<const std::uint8_t>(data, length), rate);
+    if (!timing.ok()) {
+      completion.fate = TransferFate::kLinkFailed;
+      completion.error = timing.error().message;
+    } else if (!timing.value().digest_ok) {
+      completion.fate = TransferFate::kLinkFailed;
+      completion.error = "wire digest mismatch";
+    } else {
+      completion.fate = TransferFate::kCompleted;
+      completion.bytes = length;
+    }
+    finish(id, std::move(completion));
+  });
+  return id;
+}
+
+void WireTransport::finish(OpId id, Completion completion) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ops_.at(id)->completion = std::move(completion);
+  finished_.push_back(id);
+  cv_.notify_all();
+}
+
+void WireTransport::cancel(OpId op) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ops_.find(op);
+  if (it != ops_.end()) {
+    it->second->cancel.store(true, std::memory_order_release);
+  }
+}
+
+bool WireTransport::drain_one() {
+  std::unique_ptr<Op> op;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (ops_.empty()) return false;
+    cv_.wait(lock, [this] { return !finished_.empty(); });
+    const OpId id = finished_.front();
+    finished_.pop_front();
+    auto it = ops_.find(id);
+    op = std::move(it->second);
+    ops_.erase(it);
+  }
+  op->worker.join();
+  // Deliver on the draining thread: the batch layer's single-thread rule.
+  op->done(op->completion);
+  return true;
+}
+
+}  // namespace droute::transfer

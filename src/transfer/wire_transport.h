@@ -1,0 +1,66 @@
+// WireTransport: the blocking Transport over droute::wire real sockets.
+//
+// One WRITE request maps to one wire::upload_direct of the request's source
+// buffer to the segment's sink port (the sink protocol is whole-object, so
+// target_offset only partitions the *local* buffer view the caller already
+// applied; it is not sent on the wire). READ has no wire counterpart yet
+// and is rejected synchronously.
+//
+// Threading contract (see transport.h): start() hands the upload to a
+// detached-until-drained worker thread, and the completion is delivered
+// ONLY from drain_one() on the joining caller's thread — batch state stays
+// single-threaded. cancel() is a pre-start flag: a worker that has not yet
+// opened its socket settles kAborted, one mid-upload finishes with its real
+// fate (upload_direct is uninterruptible by design — the sink protocol has
+// no abort frame).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "transfer/batch.h"
+#include "transfer/transport.h"
+
+namespace droute::transfer {
+
+class WireTransport final : public Transport {
+ public:
+  WireTransport();
+  /// Drains (joins + delivers) any still-running uploads on the caller's
+  /// thread; prefer wait()-ing every batch before destruction.
+  ~WireTransport() override;
+
+  [[nodiscard]] util::Result<OpId> start(const Segment& target,
+                                         const TransferRequest& request,
+                                         CompletionFn done) override;
+  void cancel(OpId op) override;
+  bool drain_one() override;
+  /// Wall seconds since construction (matches obs::Clock::kWall spirit).
+  double now() const override;
+
+ private:
+  struct Op {
+    std::thread worker;
+    CompletionFn done;
+    std::atomic<bool> cancel{false};
+    Completion completion;
+  };
+
+  void finish(OpId id, Completion completion);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<OpId, std::unique_ptr<Op>> ops_;
+  std::deque<OpId> finished_;
+  OpId next_op_ = 1;
+  std::chrono::steady_clock::time_point epoch_;  // analyze: allow(determinism-wall-clock) — wire ops run on real sockets in wall time; request timestamps are relative to this epoch and never reach the simulator
+};
+
+}  // namespace droute::transfer

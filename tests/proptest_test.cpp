@@ -44,8 +44,10 @@ TEST(RandomCase, WorkItemsReferenceValidHosts) {
     for (const WorkItem& item : c.work) {
       EXPECT_TRUE(is_host(item.client)) << "seed " << seed;
       EXPECT_NE(item.client, c.server_node) << "seed " << seed;
-      // Steered items carry no via: the controller picks the path online.
-      if (item.kind != WorkKind::kApiUpload && item.kind != WorkKind::kSteered) {
+      // Steered items carry no via (the controller picks the path online);
+      // batched items stripe straight to the server, also via-less.
+      if (item.kind != WorkKind::kApiUpload && item.kind != WorkKind::kSteered &&
+          item.kind != WorkKind::kBatched) {
         EXPECT_TRUE(is_host(item.via)) << "seed " << seed;
         EXPECT_NE(item.via, item.client) << "seed " << seed;
       }
@@ -88,7 +90,7 @@ TEST(CaseIo, ParseRejectsGarbage) {
 TEST(WorkKind, NamesRoundTrip) {
   for (WorkKind kind :
        {WorkKind::kApiUpload, WorkKind::kDetour, WorkKind::kDetourPipelined,
-        WorkKind::kRsyncPush, WorkKind::kSteered}) {
+        WorkKind::kRsyncPush, WorkKind::kSteered, WorkKind::kBatched}) {
     auto parsed = parse_work_kind(work_kind_name(kind));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(parsed.value(), kind);

@@ -157,7 +157,13 @@ constexpr std::uint64_t kCampaignCsvDigest = 0xe14f6b9b82df52deull;
 // Recaptured once when fabric.realloc_skipped_total was renamed to
 // net.realloc_skipped_total (the metric-prefix lint rule): same values,
 // different name and sort position in the CSV.
-constexpr std::uint64_t kMetricsCsvDigest = 0x1c2f55464ba65cd7ull;
+// Recaptured once for the batched TransferEngine (DESIGN.md §15): every
+// chunk PUT now rides a single-request batch, adding the
+// transfer.batches_submitted_total / transfer.batch_requests_total counters
+// and the transfer.batch_inflight gauge to the export. All pre-existing
+// metric values are unchanged, and the campaign CSV digest above is
+// untouched — the batch layer adds no sim events.
+constexpr std::uint64_t kMetricsCsvDigest = 0xc90400f28f969629ull;
 
 TEST(CampaignGolden, PaperScaleCampaignCsvIsByteIdentical) {
   const measure::Campaign campaign = paper_campaign();

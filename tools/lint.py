@@ -95,6 +95,11 @@ NEW_DELETE_RE = re.compile(r"\bnew\b|\bdelete\b")
 JOB_STATE_RE = re.compile(r"\bmake_shared\s*<\s*\w*Job\w*\s*>")
 JOB_STATE_SCOPE = ("src", "transfer")
 
+# The callback-shim header died with the batched TransferEngine rewrite
+# (DESIGN.md §15): every engine entry point inlines its one-line on_done
+# fold over the coroutine form. No include may resurrect the header.
+TASK_SHIM_RE = re.compile(r"#\s*include\s*[\"<][^\">]*task_shim\.h[\">]")
+
 # Metric-name literals at instrument call sites. Runs on RAW lines (names
 # live inside string literals, which strip_code removes).
 METRIC_CALL_RE = re.compile(
@@ -212,6 +217,7 @@ class Linter:
             if rel not in TIME_EQ_EXEMPT:
                 self.check_time_eq(path, line_no, code)
             self.check_metric_name(path, line_no, raw_lines[idx])
+            self.check_task_shim(path, line_no, raw_lines[idx])
             if in_transfer:
                 self.check_job_state(path, line_no, code)
         if path.suffix == ".h":
@@ -244,6 +250,15 @@ class Linter:
                 "shared-state *Job* allocation — write the pipeline as a "
                 "sim::Task<T> coroutine instead (DESIGN.md §10; waive with "
                 "`lint: allow(job-state)` and a reason)",
+            )
+
+    def check_task_shim(self, path: Path, line_no: int, raw: str) -> None:
+        if TASK_SHIM_RE.search(raw):
+            self.report(
+                path, line_no, "task-shim",
+                "include of the deleted transfer/task_shim.h — inline the "
+                "on_done fold over the engine's coroutine entry point "
+                "instead (DESIGN.md §15)",
             )
 
     def check_time_eq(self, path: Path, line_no: int, code: str) -> None:
