@@ -1,0 +1,234 @@
+// Sharded-allocator perf cases -> BENCH_shard.json.
+//
+// The churn storm from bench_perf_fabric scaled to a 100k-flow fleet and run
+// under AllocMode::kSharded at 1/4/8 workers (DESIGN.md §16). Two gates:
+//
+//   * determinism (always): the outcome digest must be byte-identical at
+//     every worker count — a bench that benchmarks divergent runs is
+//     benchmarking a bug, so it exits 1 instead of reporting;
+//   * speedup (only on >= 8-way hardware): the fills are embarrassingly
+//     parallel across pods, so 8 workers must beat 1 by >= 3x. On smaller
+//     machines (CI smoke runners are often 1-2 cores) the ratio is still
+//     reported in extras but not gated — wall-clock there measures the
+//     scheduler, not the discipline.
+//
+// The per-worker wall times ride along as extras (single_ms / w4_ms / w8_ms,
+// speedup_vs_single_w4 / _w8); tools/validate_bench.py --against diffs only
+// median_ms, so the committed baseline stays honest about the machine it was
+// captured on without turning hardware variance into CI failures.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "net/fabric.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace droute::bench {
+namespace {
+
+// Independent dumbbell pods (same shape as bench_perf_fabric's fleet): each
+// pod is its own sharing component, which is exactly the decomposition the
+// sharded mode parallelizes over.
+struct PodFleet {
+  net::Topology topo;
+  net::RouteTable routes{nullptr};
+  sim::Simulator simulator;
+  std::unique_ptr<net::Fabric> fabric;
+  std::vector<net::NodeId> a, b;
+
+  PodFleet(int pods, int pairs_per_pod, int shard_workers) {
+    net::Topology::Builder builder;
+    const net::AsId as = builder.add_as("BENCH");
+    a.reserve(static_cast<std::size_t>(pods) * pairs_per_pod);
+    b.reserve(static_cast<std::size_t>(pods) * pairs_per_pod);
+    for (int p = 0; p < pods; ++p) {
+      const std::string tag = std::to_string(p);
+      const net::NodeId left = builder.add_router(as, "l" + tag, {40, -100});
+      const net::NodeId right = builder.add_router(as, "r" + tag, {40, -99});
+      for (int h = 0; h < pairs_per_pod; ++h) {
+        const std::string host_tag = tag + "_" + std::to_string(h);
+        const net::NodeId ah = builder.add_host(as, "a" + host_tag, {40, -100});
+        const net::NodeId bh = builder.add_host(as, "b" + host_tag, {40, -99});
+        builder.add_duplex(ah, left, 10000, 0.0005);
+        builder.add_duplex(right, bh, 10000, 0.0005);
+        a.push_back(ah);
+        b.push_back(bh);
+      }
+      builder.add_duplex(left, right, 1000, 0.01);
+    }
+    auto built = std::move(builder).build();
+    if (!built.ok()) {
+      std::fprintf(stderr, "pod fleet build failed: %s\n",
+                   built.error().message.c_str());
+      std::exit(1);
+    }
+    topo = std::move(built).value();
+    routes = net::RouteTable(&topo);
+    fabric = std::make_unique<net::Fabric>(&simulator, &topo, &routes);
+    fabric->set_alloc_mode(net::Fabric::AllocMode::kSharded);
+    fabric->set_shard_workers(shard_workers);
+  }
+};
+
+// Closed-loop storm (one in-flight flow per pair, next generation starts on
+// completion) with periodic fleet-wide capacity rewrites — the rewrite +
+// reallocate_now dirties *every* pod at once, producing the widest
+// multi-component fill batches the sharded mode can fan out.
+struct Storm {
+  PodFleet* fleet = nullptr;
+  int generations = 0;
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  std::uint64_t done = 0;
+  std::vector<util::Rng> pair_rng;
+
+  void start_next(std::size_t pair, int generation) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(pair_rng[pair].uniform_int(10, 40)) *
+        util::kMB;
+    net::FlowOptions options;
+    options.charge_slow_start = false;
+    auto flow = fleet->fabric->start_flow(
+        fleet->a[pair], fleet->b[pair], bytes,
+        [this, pair, generation](const net::FlowStats& stats) {
+          const double duration = stats.duration_s();
+          const unsigned char* raw =
+              reinterpret_cast<const unsigned char*>(&duration);
+          for (std::size_t i = 0; i < sizeof duration; ++i) {
+            digest ^= raw[i];
+            digest *= 0x100000001b3ull;
+          }
+          ++done;
+          if (generation + 1 < generations) start_next(pair, generation + 1);
+        },
+        options);
+    if (!flow.ok()) {
+      std::fprintf(stderr, "storm start_flow failed: %s\n",
+                   flow.error().message.c_str());
+      std::exit(1);
+    }
+  }
+};
+
+std::uint64_t run_storm(PodFleet& fleet, int generations, int storm_rounds,
+                        std::uint64_t* completed) {
+  util::Rng rng(7);
+  Storm storm;
+  storm.fleet = &fleet;
+  storm.generations = generations;
+  storm.pair_rng.reserve(fleet.a.size());
+  for (std::size_t pair = 0; pair < fleet.a.size(); ++pair) {
+    storm.pair_rng.push_back(rng.fork(pair));
+    fleet.simulator.schedule_at(rng.uniform(0.0, 2.0), [&storm, pair] {
+      storm.start_next(pair, 0);
+    });
+  }
+  // Fleet-wide capacity storms: rewrite every pod bottleneck, then one
+  // reallocate_now — a dense all-components batch per round.
+  util::Rng storm_rng = rng.fork(~0ull);
+  const std::size_t link_count = fleet.topo.link_count();
+  for (int round = 0; round < storm_rounds; ++round) {
+    const double at = 2.0 + 3.0 * round;
+    fleet.simulator.schedule_at(at, [&fleet, &storm_rng, link_count] {
+      // Pod bottlenecks are the last duplex added per pod; perturbing a
+      // deterministic sample of all links is simpler and hits them too.
+      for (std::size_t l = 0; l < link_count; l += 97) {
+        const double capacity = storm_rng.uniform(500.0, 2000.0);
+        (void)fleet.topo.set_link_capacity(static_cast<net::LinkId>(l),
+                                           capacity);
+      }
+      fleet.fabric->reallocate_now();
+    });
+  }
+  fleet.simulator.run();
+  *completed = storm.done;
+  return storm.digest;
+}
+
+struct StormResult {
+  double wall_ms = 0.0;
+  std::uint64_t digest = 0;
+  std::uint64_t completed = 0;
+};
+
+StormResult timed_storm(int pods, int pairs, int generations, int rounds,
+                        int workers) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PodFleet fleet(pods, pairs, workers);
+  StormResult result;
+  result.digest = run_storm(fleet, generations, rounds, &result.completed);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+DROUTE_BENCH(churn_storm_shard_100k, "ms") {
+  // 100k concurrent flows: 1000 independent pods x 100 closed-loop pairs.
+  const int pods = ctx.quick() ? 20 : 1000;
+  const int pairs = ctx.quick() ? 10 : 100;
+  const int generations = 2;
+  const int rounds = ctx.quick() ? 2 : 4;
+
+  const StormResult single = timed_storm(pods, pairs, generations, rounds, 1);
+  const StormResult w4 = timed_storm(pods, pairs, generations, rounds, 4);
+  const StormResult w8 = timed_storm(pods, pairs, generations, rounds, 8);
+
+  // Hard gate, every machine: worker count must not change results.
+  if (w4.digest != single.digest || w8.digest != single.digest ||
+      w4.completed != single.completed || w8.completed != single.completed) {
+    std::fprintf(stderr,
+                 "sharded churn storm diverged across worker counts "
+                 "(w1 %016llx, w4 %016llx, w8 %016llx)\n",
+                 static_cast<unsigned long long>(single.digest),
+                 static_cast<unsigned long long>(w4.digest),
+                 static_cast<unsigned long long>(w8.digest));
+    std::exit(1);
+  }
+
+  const double speedup_w4 =
+      w4.wall_ms > 0.0 ? single.wall_ms / w4.wall_ms : 0.0;
+  const double speedup_w8 =
+      w8.wall_ms > 0.0 ? single.wall_ms / w8.wall_ms : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  // Speedup gate only where the hardware can express it; a 1-2 core smoke
+  // runner measures contention, not the merge discipline.
+  if (!ctx.quick() && cores >= 8 && speedup_w8 < 3.0) {
+    std::fprintf(stderr,
+                 "sharded storm speedup regressed: w8 %.2fx (need >= 3x on "
+                 "%u-way hardware; w1 %.1f ms, w8 %.1f ms)\n",
+                 speedup_w8, cores, single.wall_ms, w8.wall_ms);
+    std::exit(1);
+  }
+
+  ctx.set_events(static_cast<double>(single.completed));
+  ctx.extra("fleet_flows", static_cast<double>(pods) * pairs);
+  ctx.extra("hardware_threads", static_cast<double>(cores));
+  ctx.extra("single_ms", single.wall_ms);
+  ctx.extra("w4_ms", w4.wall_ms);
+  ctx.extra("w8_ms", w8.wall_ms);
+  ctx.extra("speedup_vs_single_w4", speedup_w4);
+  ctx.extra("speedup_vs_single_w8", speedup_w8);
+  // The diffable median tracks the widest fan-out configuration.
+  ctx.set_work([pods, pairs, generations, rounds] {
+    PodFleet fleet(pods, pairs, 8);
+    std::uint64_t completed = 0;
+    run_storm(fleet, generations, rounds, &completed);
+  });
+}
+
+}  // namespace
+}  // namespace droute::bench
+
+int main(int argc, char** argv) {
+  return droute::bench::bench_main(argc, argv, "BENCH_shard.json");
+}

@@ -1,24 +1,34 @@
-// Differential equivalence suite for the incremental fabric allocator.
+// Differential equivalence suite for the incremental + sharded fabric
+// allocators.
 //
 // The incremental max-min allocator (DESIGN.md §12) water-fills only the
 // connected component(s) dirtied by each event; AllocMode::kFullRecompute is
-// the retained reference that re-fills every component on every event. The
-// two must agree *bit-for-bit* — one ulp of divergence means a retained rate
-// was stale and every figure reproduction is suspect. Two layers:
+// the retained reference that re-fills every component on every event; and
+// AllocMode::kSharded (DESIGN.md §16) fans the per-component fills out to a
+// thread pool behind a serial collect/merge discipline. All three must agree
+// *bit-for-bit* at every worker count — one ulp of divergence means a
+// retained rate was stale (or a worker leaked scheduling order into the
+// event queue) and every figure reproduction is suspect. Three layers:
 //
-//   * Lockstep: twin stacks driven by an identical random op script
+//   * Lockstep: triplet stacks driven by an identical random op script
 //     (starts, aborts, link failures/restores, capacity rewrites), with
 //     every live flow's rate compared for exact equality after every op.
-//   * End-to-end: chaos::random_case scenarios run to quiescence in both
-//     modes; the outcome digests (FNV-1a over every observable transfer
-//     time) must be byte-identical.
+//     The sharded stack's worker count cycles 1/2/4/8 across seeds.
+//   * End-to-end: chaos::random_case scenarios run to quiescence in all
+//     three modes; the outcome digests (FNV-1a over every observable
+//     transfer time) must be byte-identical.
+//   * Metrics: the full exported metrics CSV of a sharded scenario must be
+//     byte-identical at workers 1, 2, 4 and 8 (shard diagnostics included).
 //
-// Together with the proptest property `fabric_equivalence` this covers the
-// ≥200 seeded scenarios the rewrite was accepted under.
+// Together with the proptest properties `fabric_equivalence` and
+// `sharded_equivalence` this covers the ≥200 seeded scenarios the rewrites
+// were accepted under.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "chaos/scenario.h"
@@ -26,6 +36,8 @@
 #include "net/fabric.h"
 #include "net/routing.h"
 #include "net/topology.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -33,7 +45,15 @@
 namespace droute::net {
 namespace {
 
-// One self-contained stack over a generated topology. Twin instances are
+// Worker counts the sharded mode is exercised at, cycled by seed so the
+// whole sweep covers inline (1), the CI leg (2) and oversubscribed (4/8).
+constexpr int kWorkerCycle[] = {1, 2, 4, 8};
+
+int workers_for_seed(std::uint64_t seed) {
+  return kWorkerCycle[seed % (sizeof(kWorkerCycle) / sizeof(int))];
+}
+
+// One self-contained stack over a generated topology. Sibling instances are
 // built from the same GenTopology so node/link ids line up exactly.
 struct Stack {
   Topology topo;
@@ -41,23 +61,25 @@ struct Stack {
   RouteTable routes{nullptr};
   std::unique_ptr<Fabric> fabric;
 
-  explicit Stack(const chaos::GenTopology& gen, Fabric::AllocMode mode) {
+  explicit Stack(const chaos::GenTopology& gen, Fabric::AllocMode mode,
+                 int shard_workers = 1) {
     auto built = gen.build();
     EXPECT_TRUE(built.ok());
     topo = std::move(built).value();
     routes = RouteTable(&topo);
     fabric = std::make_unique<Fabric>(&simulator, &topo, &routes);
     fabric->set_alloc_mode(mode);
+    fabric->set_shard_workers(shard_workers);
   }
 };
 
-// Drives both stacks through one op drawn from `rng` (the draw happens once;
-// both stacks see the same op). Returns flow ids started so far.
+// Drives all stacks through one op drawn from `rng` (the draw happens once;
+// every stack sees the same op). Returns flow ids started so far.
 class LockstepDriver {
  public:
-  LockstepDriver(Stack* inc, Stack* full, const std::vector<int>& hosts,
+  LockstepDriver(std::vector<Stack*> stacks, const std::vector<int>& hosts,
                  int link_count)
-      : inc_(inc), full_(full), hosts_(hosts), link_count_(link_count) {}
+      : stacks_(std::move(stacks)), hosts_(hosts), link_count_(link_count) {}
 
   void step(util::Rng& rng) {
     const int op = static_cast<int>(rng.uniform_int(0, 9));
@@ -73,33 +95,38 @@ class LockstepDriver {
             static_cast<std::uint64_t>(rng.uniform_int(1, 64)) * util::kMB;
         FlowOptions options;
         options.charge_slow_start = rng.uniform() < 0.5;
-        auto a = inc_->fabric->start_flow(src, dst, bytes, {}, options);
-        auto b = full_->fabric->start_flow(src, dst, bytes, {}, options);
-        ASSERT_EQ(a.ok(), b.ok());
-        if (a.ok()) {
-          ASSERT_EQ(a.value(), b.value());
-          flows_.push_back(a.value());
+        std::optional<FlowId> started;
+        for (Stack* stack : stacks_) {
+          auto flow = stack->fabric->start_flow(src, dst, bytes, {}, options);
+          if (stack == stacks_.front()) {
+            if (flow.ok()) started = flow.value();
+          } else {
+            ASSERT_EQ(flow.ok(), started.has_value());
+            if (flow.ok()) {
+              ASSERT_EQ(flow.value(), *started);
+            }
+          }
         }
+        if (started) flows_.push_back(*started);
         break;
       }
       case 4: {  // advance simulated time
         const double dt = rng.uniform(0.05, 5.0);
-        inc_->simulator.run_until(inc_->simulator.now() + dt);
-        full_->simulator.run_until(full_->simulator.now() + dt);
+        for (Stack* stack : stacks_) {
+          stack->simulator.run_until(stack->simulator.now() + dt);
+        }
         break;
       }
       case 5: {  // abort a (possibly finished) flow
         if (flows_.empty()) break;
         const FlowId id = flows_[static_cast<std::size_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(flows_.size()) - 1))];
-        inc_->fabric->abort_flow(id);
-        full_->fabric->abort_flow(id);
+        for (Stack* stack : stacks_) stack->fabric->abort_flow(id);
         break;
       }
       case 6: {  // fail a link
         const LinkId link = pick_link(rng);
-        inc_->fabric->fail_link(link);
-        full_->fabric->fail_link(link);
+        for (Stack* stack : stacks_) stack->fabric->fail_link(link);
         failed_.push_back(link);
         break;
       }
@@ -107,45 +134,47 @@ class LockstepDriver {
         if (failed_.empty()) break;
         const LinkId link = failed_.front();
         failed_.erase(failed_.begin());
-        inc_->fabric->restore_link(link);
-        full_->fabric->restore_link(link);
+        for (Stack* stack : stacks_) stack->fabric->restore_link(link);
         break;
       }
       case 8: {  // rewrite a link capacity, then converge
         const LinkId link = pick_link(rng);
         const double capacity = rng.uniform(5.0, 2000.0);
-        ASSERT_TRUE(inc_->topo.set_link_capacity(link, capacity).ok());
-        ASSERT_TRUE(full_->topo.set_link_capacity(link, capacity).ok());
-        inc_->fabric->reallocate_now();
-        full_->fabric->reallocate_now();
+        for (Stack* stack : stacks_) {
+          ASSERT_TRUE(stack->topo.set_link_capacity(link, capacity).ok());
+          stack->fabric->reallocate_now();
+        }
         break;
       }
       case 9: {  // out-of-band reallocate (exercises the idle early-out too)
-        inc_->fabric->reallocate_now();
-        full_->fabric->reallocate_now();
+        for (Stack* stack : stacks_) stack->fabric->reallocate_now();
         break;
       }
     }
   }
 
-  // The heart of the suite: every flow either lives in both fabrics with the
-  // exact same rate, or in neither.
+  // The heart of the suite: every flow either lives in every fabric with the
+  // exact same rate, or in none.
   void expect_equivalent() const {
-    ASSERT_EQ(inc_->fabric->active_flow_count(),
-              full_->fabric->active_flow_count());
-    for (const FlowId id : flows_) {
-      const double inc_rate = inc_->fabric->current_rate_mbps(id);
-      const double full_rate = full_->fabric->current_rate_mbps(id);
-      EXPECT_EQ(inc_rate, full_rate) << "flow " << id << " rate diverged";
+    const Stack* reference = stacks_.front();
+    for (std::size_t s = 1; s < stacks_.size(); ++s) {
+      const Stack* other = stacks_[s];
+      ASSERT_EQ(reference->fabric->active_flow_count(),
+                other->fabric->active_flow_count());
+      for (const FlowId id : flows_) {
+        const double ref_rate = reference->fabric->current_rate_mbps(id);
+        const double other_rate = other->fabric->current_rate_mbps(id);
+        EXPECT_EQ(ref_rate, other_rate)
+            << "flow " << id << " rate diverged in stack " << s;
+      }
+      EXPECT_EQ(reference->fabric->moved_bytes(), other->fabric->moved_bytes());
+      EXPECT_EQ(reference->fabric->delivered_bytes(),
+                other->fabric->delivered_bytes());
     }
-    EXPECT_EQ(inc_->fabric->moved_bytes(), full_->fabric->moved_bytes());
-    EXPECT_EQ(inc_->fabric->delivered_bytes(),
-              full_->fabric->delivered_bytes());
   }
 
   void drain() {
-    inc_->simulator.run();
-    full_->simulator.run();
+    for (Stack* stack : stacks_) stack->simulator.run();
   }
 
  private:
@@ -157,8 +186,7 @@ class LockstepDriver {
     return static_cast<LinkId>(rng.uniform_int(0, link_count_ - 1));
   }
 
-  Stack* inc_;
-  Stack* full_;
+  std::vector<Stack*> stacks_;
   std::vector<int> hosts_;
   int link_count_;
   std::vector<FlowId> flows_;
@@ -179,7 +207,8 @@ TEST(FabricEquivalence, LockstepRandomOpsBitIdenticalRates) {
 
     Stack inc(gen, Fabric::AllocMode::kIncremental);
     Stack full(gen, Fabric::AllocMode::kFullRecompute);
-    LockstepDriver driver(&inc, &full, hosts,
+    Stack sharded(gen, Fabric::AllocMode::kSharded, workers_for_seed(seed));
+    LockstepDriver driver({&inc, &full, &sharded}, hosts,
                           static_cast<int>(gen.links.size()));
     util::Rng ops = rng.split(2);
     for (int op = 0; op < kOpsPerSeed; ++op) {
@@ -187,7 +216,8 @@ TEST(FabricEquivalence, LockstepRandomOpsBitIdenticalRates) {
       if (::testing::Test::HasFatalFailure()) return;
       driver.expect_equivalent();
       ASSERT_FALSE(::testing::Test::HasFailure())
-          << "first divergence at seed " << seed << " op " << op;
+          << "first divergence at seed " << seed << " op " << op
+          << " (sharded workers " << workers_for_seed(seed) << ")";
     }
     driver.drain();
     driver.expect_equivalent();
@@ -205,19 +235,78 @@ TEST(FabricEquivalence, ChaosScenarioDigestsBitIdentical) {
     const chaos::RunReport incremental = chaos::run_case(c);
     const chaos::RunReport reference =
         chaos::run_case(c, chaos::RunOptions{.full_recompute = true});
+    const chaos::RunReport sharded = chaos::run_case(
+        c, chaos::RunOptions{.shard_workers = workers_for_seed(seed)});
     EXPECT_EQ(incremental.digest, reference.digest) << "seed " << seed;
+    EXPECT_EQ(incremental.digest, sharded.digest)
+        << "seed " << seed << " (sharded workers " << workers_for_seed(seed)
+        << ")";
     EXPECT_EQ(incremental.violated, reference.violated) << "seed " << seed;
+    EXPECT_EQ(incremental.violated, sharded.violated) << "seed " << seed;
     EXPECT_EQ(incremental.completed_work, reference.completed_work)
         << "seed " << seed;
+    EXPECT_EQ(incremental.completed_work, sharded.completed_work)
+        << "seed " << seed;
     ASSERT_EQ(incremental.outcomes.size(), reference.outcomes.size());
+    ASSERT_EQ(incremental.outcomes.size(), sharded.outcomes.size());
     for (std::size_t i = 0; i < incremental.outcomes.size(); ++i) {
       EXPECT_EQ(incremental.outcomes[i].end_s, reference.outcomes[i].end_s)
           << "seed " << seed << " work item " << i;
+      EXPECT_EQ(incremental.outcomes[i].end_s, sharded.outcomes[i].end_s)
+          << "seed " << seed << " work item " << i << " (sharded)";
     }
     if (incremental.completed_work > 0) ++nontrivial;
   }
   // The sweep must actually exercise transfers, not vacuous empty runs.
   EXPECT_GT(nontrivial, kSeeds / 2);
+}
+
+TEST(FabricEquivalence, ShardedDigestsStableAcrossAllWorkerCounts) {
+  // The per-seed cycle above gives every worker count broad coverage; this
+  // holds one fixed scenario to *all* counts side by side, the most direct
+  // statement of "worker count can never change results".
+  constexpr std::uint64_t kSeeds = 8;
+  for (std::uint64_t seed = 11; seed < 11 + kSeeds; ++seed) {
+    const chaos::Case c = chaos::random_case(seed);
+    const chaos::RunReport reference =
+        chaos::run_case(c, chaos::RunOptions{.shard_workers = 1});
+    for (const int workers : kWorkerCycle) {
+      const chaos::RunReport run =
+          chaos::run_case(c, chaos::RunOptions{.shard_workers = workers});
+      EXPECT_EQ(reference.digest, run.digest)
+          << "seed " << seed << " workers " << workers;
+      EXPECT_EQ(reference.violated, run.violated)
+          << "seed " << seed << " workers " << workers;
+    }
+  }
+}
+
+TEST(FabricEquivalence, MetricsCsvByteIdenticalAcrossWorkerCounts) {
+  // Beyond event schedules: the entire exported metrics CSV — including the
+  // net.shard_* diagnostics — must be byte-identical at every worker count
+  // (the shard metrics are functions of the batch structure alone).
+  const chaos::Case c = chaos::random_case(7);
+  std::string reference_csv;
+  for (const int workers : kWorkerCycle) {
+    obs::Recorder rec;
+    std::uint64_t digest = 0;
+    {
+      obs::ScopedRecorder install(&rec);
+      digest =
+          chaos::run_case(c, chaos::RunOptions{.shard_workers = workers})
+              .digest;
+    }
+    const std::string csv = obs::metrics_csv(rec.metrics());
+    if (workers == 1) {
+      reference_csv = csv;
+      ASSERT_FALSE(reference_csv.empty());
+      ASSERT_NE(reference_csv.find("net.shard_batches_total"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(reference_csv, csv) << "workers " << workers;
+    }
+    EXPECT_NE(digest, 0u);
+  }
 }
 
 }  // namespace

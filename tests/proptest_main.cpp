@@ -122,6 +122,20 @@ int replay(const Options& options) {
         ++failures;
         continue;
       }
+      // sharded_equivalence: the parallel sharded allocator (DESIGN.md §16)
+      // must reproduce the same digest with workers fanned out.
+      const RunReport sharded = droute::chaos::run_case(
+          loaded.value(), droute::chaos::RunOptions{.shard_workers = 2});
+      if (sharded.digest != report.digest) {
+        std::fprintf(stderr,
+                     "FAIL %s: property 'sharded_equivalence' violated: "
+                     "incremental digest %016llx != sharded %016llx\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(report.digest),
+                     static_cast<unsigned long long>(sharded.digest));
+        ++failures;
+        continue;
+      }
       std::printf("ok   %s digest=%016llx\n", path.c_str(),
                   static_cast<unsigned long long>(report.digest));
     } else {
@@ -153,6 +167,17 @@ int fuzz(const Options& options) {
         detail = "incremental and full-recompute digests differ";
       }
     }
+    if (violated.empty()) {
+      // sharded_equivalence: the parallel sharded allocator must agree too
+      // (a divergence here with fabric_equivalence green points straight at
+      // the collect/merge discipline, not the water-fill arithmetic).
+      const RunReport sharded = droute::chaos::run_case(
+          c, droute::chaos::RunOptions{.shard_workers = 2});
+      if (sharded.digest != report.digest) {
+        violated = "sharded_equivalence";
+        detail = "incremental and sharded digests differ";
+      }
+    }
     if (violated.empty() && options.selfcheck) {
       const RunReport second = droute::chaos::run_case(c);
       if (second.digest != report.digest) {
@@ -180,6 +205,12 @@ int fuzz(const Options& options) {
             const RunReport reference = droute::chaos::run_case(
                 candidate, droute::chaos::RunOptions{.full_recompute = true});
             return reference.digest != run.digest;
+          }
+          if (violated == "sharded_equivalence") {
+            if (!run.ok()) return false;
+            const RunReport sharded = droute::chaos::run_case(
+                candidate, droute::chaos::RunOptions{.shard_workers = 2});
+            return sharded.digest != run.digest;
           }
           return run.violated == violated;
         },

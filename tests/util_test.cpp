@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "check/contract.h"
@@ -251,6 +253,87 @@ TEST(ThreadPool, PropagatesExceptions) {
                           if (i == 2) throw std::runtime_error("task failed");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexEvenWhenOneThrows) {
+  // Regression: a throwing body used to abandon the rest of the batch —
+  // the caller rethrew off the first future and the still-queued tasks ran
+  // (or dangled) behind its back. Every index must execute exactly once
+  // before the exception surfaces.
+  ThreadPool pool(4);
+  std::array<std::atomic<int>, 8> ran{};
+  try {
+    pool.parallel_for(ran.size(), [&](std::size_t i) {
+      ran[i].fetch_add(1);
+      if (i == 3) throw std::runtime_error("index 3");
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
+  // With several failures the *lowest* index wins — a deterministic pick,
+  // unlike "whichever task a worker finished first".
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(16, [](std::size_t i) {
+        if (i % 2 == 1) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "parallel_for swallowed the exceptions";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "1");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForReduceFoldsInIndexOrder) {
+  // The fold must be the serial left fold regardless of pool size: string
+  // concatenation is order-sensitive, so any scheduling leak shows up.
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const std::string folded = pool.parallel_for_reduce(
+        10, std::string{},
+        [](std::size_t i) { return std::to_string(i); },
+        [](std::string acc, std::string r) { return acc + r; });
+    EXPECT_EQ(folded, "0123456789") << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ParallelForReduceFloatingPointIsPoolSizeInvariant) {
+  // Left-fold summation of values at wildly different magnitudes is not
+  // associative in floating point; bit-identical results across pool sizes
+  // prove the reduction tree depends on the count alone.
+  const auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    return pool.parallel_for_reduce(
+        1000, 0.0,
+        [](std::size_t i) {
+          return std::ldexp(1.0, static_cast<int>(i % 64) - 32);
+        },
+        [](double acc, double r) { return acc + r; });
+  };
+  const double reference = run(1);
+  for (std::size_t threads : {2u, 3u, 4u, 8u}) {
+    EXPECT_EQ(reference, run(threads)) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerRunsInline) {
+  // A worker of the pool re-entering parallel_for must not deadlock waiting
+  // on tasks only it could drain; the batch runs inline instead.
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  auto outer = pool.submit([&] {
+    pool.parallel_for(5, [&](std::size_t) { inner.fetch_add(1); });
+    return inner.load();
+  });
+  EXPECT_EQ(outer.get(), 5);
 }
 
 // ------------------------------------------------------------------ blob ----
